@@ -1,0 +1,28 @@
+// Figure 4: routing overhead (kbps of routing + data-ACK bits on average)
+// vs mean mobile speed, for 10 pkt/s (a) and 20 pkt/s (b).
+#include <exception>
+#include <iostream>
+
+#include "harness/flags.hpp"
+#include "harness/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rica::harness;
+  try {
+    const Flags flags(argc, argv);
+    const BenchScale scale = bench_scale(flags, /*def_trials=*/3,
+                                         /*def_sim_s=*/100.0);
+    const auto speeds = flags.get_list("speeds", paper_speeds());
+
+    const auto grid = run_speed_sweep(speeds, {10.0, 20.0}, scale);
+    const auto kbps = [](const ScenarioResult& r) { return r.overhead_kbps; };
+    print_figure(std::cout, grid, 10.0,
+                 "Figure 4(a): routing overhead (kbps), 10 pkt/s", kbps);
+    print_figure(std::cout, grid, 20.0,
+                 "Figure 4(b): routing overhead (kbps), 20 pkt/s", kbps);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,117 @@
+// Engine micro-benchmarks (google-benchmark): event queue, channel sampling,
+// mobility evaluation, Dijkstra, and a full-stack end-to-end run.  Not a
+// paper figure — these guard the simulator's performance so the paper-scale
+// sweeps (25 trials x 500 s x 5 protocols) stay tractable.
+#include <benchmark/benchmark.h>
+
+#include "channel/channel_model.hpp"
+#include "harness/scenario.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace rica;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::RandomStream rng(1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.schedule(sim::Time{t + rng.uniform_int(0, 1'000'000)}, [] {});
+    }
+    for (int i = 0; i < 64; ++i) {
+      auto fired = q.pop();
+      t = fired.at.nanos();
+      benchmark::DoNotOptimize(fired.id);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_SimulatorTimerChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 1000) sim.after(sim::microseconds(10), tick);
+    };
+    sim.after(sim::microseconds(10), tick);
+    sim.run_until(sim::seconds(1));
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorTimerChain);
+
+void BM_MobilityPositionQuery(benchmark::State& state) {
+  sim::RngManager rng(7);
+  mobility::WaypointConfig cfg;
+  cfg.max_speed_mps = 20.0;
+  mobility::MobilityManager mgr(50, cfg, rng);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 1'000'000;  // 1 ms forward
+    for (std::uint32_t n = 0; n < 50; ++n) {
+      benchmark::DoNotOptimize(mgr.position(n, sim::Time{t}));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_MobilityPositionQuery);
+
+void BM_ChannelSample(benchmark::State& state) {
+  sim::RngManager rng(11);
+  mobility::WaypointConfig wcfg;
+  wcfg.max_speed_mps = 10.0;
+  mobility::MobilityManager mgr(50, wcfg, rng);
+  channel::ChannelModel channel(channel::ChannelConfig{}, mgr, rng);
+  std::int64_t t = 0;
+  std::uint32_t a = 0;
+  for (auto _ : state) {
+    t += 100'000;  // 0.1 ms
+    a = (a + 1) % 49;
+    benchmark::DoNotOptimize(channel.sample(a, a + 1, sim::Time{t}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelSample);
+
+void BM_NeighborScan(benchmark::State& state) {
+  sim::RngManager rng(13);
+  mobility::WaypointConfig wcfg;
+  wcfg.max_speed_mps = 10.0;
+  mobility::MobilityManager mgr(50, wcfg, rng);
+  channel::ChannelModel channel(channel::ChannelConfig{}, mgr, rng);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 1'000'000;
+    benchmark::DoNotOptimize(channel.neighbors_of(0, sim::Time{t}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NeighborScan);
+
+void BM_FullStackScenario(benchmark::State& state) {
+  // One second of simulated network per iteration, full 50-node stack.
+  const auto proto = static_cast<harness::ProtocolKind>(state.range(0));
+  for (auto _ : state) {
+    harness::ScenarioConfig cfg;
+    cfg.protocol = proto;
+    cfg.sim_s = 1.0;
+    cfg.mean_speed_kmh = 36.0;
+    const auto r = harness::run_scenario(cfg);
+    benchmark::DoNotOptimize(r.delivered);
+  }
+}
+BENCHMARK(BM_FullStackScenario)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+#include "channel/channel_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rica::channel {
+
+namespace {
+constexpr std::uint64_t pair_key(std::uint32_t lo, std::uint32_t hi) {
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+}  // namespace
+
+ChannelModel::ChannelModel(const ChannelConfig& cfg,
+                           mobility::MobilityManager& mobility,
+                           const sim::RngManager& rng)
+    : cfg_(cfg), mobility_(mobility), rng_(rng) {}
+
+bool ChannelModel::in_range(std::uint32_t a, std::uint32_t b, sim::Time t) {
+  if (a == b) return false;
+  return mobility_.node_distance(a, b, t) <= cfg_.range_m;
+}
+
+ChannelModel::PairProcess& ChannelModel::process_for(std::uint32_t lo,
+                                                     std::uint32_t hi) {
+  const auto key = pair_key(lo, hi);
+  auto it = pairs_.find(key);
+  if (it == pairs_.end()) {
+    it = pairs_.emplace(key, PairProcess{rng_.stream("channel", lo, hi)})
+             .first;
+  }
+  return it->second;
+}
+
+void ChannelModel::advance(PairProcess& p, sim::Time t,
+                           double rel_speed_mps) {
+  if (!p.initialized) {
+    p.shadow_db = p.rng.normal(0.0, cfg_.shadow_sigma_db);
+    p.fading_db = p.rng.normal(0.0, cfg_.fading_sigma_db);
+    p.last = t;
+    p.initialized = true;
+    return;
+  }
+  const double gap_s = (t - p.last).seconds();
+  p.last = t;
+  if (gap_s <= 0.0 || rel_speed_mps <= 0.0) return;  // frozen channel
+  const double moved_m = rel_speed_mps * gap_s;
+
+  const double rho_s = std::exp(-moved_m / cfg_.shadow_decorr_m);
+  p.shadow_db = rho_s * p.shadow_db +
+                std::sqrt(std::max(0.0, 1.0 - rho_s * rho_s)) *
+                    p.rng.normal(0.0, cfg_.shadow_sigma_db);
+
+  const double rho_f = std::exp(-moved_m / cfg_.fading_decorr_m);
+  p.fading_db = rho_f * p.fading_db +
+                std::sqrt(std::max(0.0, 1.0 - rho_f * rho_f)) *
+                    p.rng.normal(0.0, cfg_.fading_sigma_db);
+}
+
+CsiClass ChannelModel::quantize(double snr_db) const {
+  if (snr_db >= cfg_.class_a_db) return CsiClass::A;
+  if (snr_db >= cfg_.class_b_db) return CsiClass::B;
+  if (snr_db >= cfg_.class_c_db) return CsiClass::C;
+  return CsiClass::D;
+}
+
+std::optional<ChannelSample> ChannelModel::sample(std::uint32_t a,
+                                                  std::uint32_t b,
+                                                  sim::Time t) {
+  if (a == b) return std::nullopt;
+  const double dist = mobility_.node_distance(a, b, t);
+  if (dist > cfg_.range_m) return std::nullopt;
+
+  const auto [lo, hi] = std::minmax(a, b);
+  auto& proc = process_for(lo, hi);
+  // Effective pair decorrelation speed: the sum of the two nodes' speeds
+  // bounds the relative speed and preserves the key property that a fully
+  // static pair sees a frozen channel.
+  const double rel_speed = mobility_.speed(a, t) + mobility_.speed(b, t);
+  advance(proc, t, rel_speed);
+
+  const double mean_snr =
+      cfg_.snr0_db -
+      10.0 * cfg_.path_loss_exponent * std::log10(std::max(dist, 1.0));
+  const double snr = mean_snr + proc.shadow_db + proc.fading_db;
+  return ChannelSample{snr, quantize(snr)};
+}
+
+std::optional<CsiClass> ChannelModel::csi(std::uint32_t a, std::uint32_t b,
+                                          sim::Time t) {
+  const auto s = sample(a, b, t);
+  if (!s) return std::nullopt;
+  return s->csi;
+}
+
+std::vector<std::uint32_t> ChannelModel::neighbors_of(std::uint32_t node,
+                                                      sim::Time t) {
+  std::vector<std::uint32_t> out;
+  const auto n = static_cast<std::uint32_t>(mobility_.size());
+  for (std::uint32_t other = 0; other < n; ++other) {
+    if (other != node && in_range(node, other, t)) out.push_back(other);
+  }
+  return out;
+}
+
+}  // namespace rica::channel

@@ -1,0 +1,193 @@
+// RICA — Receiver-Initiated Channel-Adaptive routing (the paper's §II).
+//
+// Route discovery (§II-B): the source floods a RREQ whose hop count
+// accumulates CSI-based hop distances (1 / 1.67 / 3.33 / 5 per link class);
+// every relay remembers the upstream of the first copy; the destination
+// collects the copies arriving over distinct last hops for a short window
+// and unicasts a RREP along the CSI-shortest one.
+//
+// Receiver-initiated adaptation (§II-C): while the flow is active the
+// destination periodically broadcasts a TTL-bounded CSI-checking packet.
+// Each relay forwards it once, adding the measured CSI distance of the link
+// it arrived on, remembers the neighbour it first heard it from (its future
+// downstream), and names that neighbour in the rebroadcast so the neighbour
+// can overhear and arm its PN-code detection window.  The source gathers the
+// checks for 40 ms, picks the CSI-shortest candidate, and — if it differs
+// from the current route — unicasts a RUPD to the new first hop and marks
+// the next data packet with the update flag; the flag re-anchors each relay
+// to its first-check downstream as the packet travels.  Abandoned routes
+// expire after one idle second.
+//
+// Route maintenance (§II-D): per-packet data ACKs detect breaks; REERs are
+// forwarded upstream only when they arrive from the terminal's *current*
+// downstream (stale reports from abandoned routes are ignored); a source
+// receiving a REER switches to the best fresh CSI-check candidate when one
+// exists and falls back to a fresh RREQ otherwise.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/protocol.hpp"
+#include "routing/tables.hpp"
+
+namespace rica::core {
+
+/// RICA tunables.  Defaults are the values the paper states (1 s checking
+/// period, 100 ms PN detection window, 40 ms source wait, 1 s route expiry).
+struct RicaConfig {
+  sim::Time check_period = sim::seconds(1);
+  sim::Time source_wait = sim::milliseconds(40);
+  sim::Time dest_wait = sim::milliseconds(40);
+  sim::Time route_expiry = sim::seconds(1);
+  sim::Time detect_window = sim::milliseconds(100);
+  sim::Time flow_active_timeout = sim::seconds(3);
+  sim::Time discovery_timeout = sim::milliseconds(200);
+  int max_discovery_attempts = 3;
+  std::int16_t rreq_ttl = 16;
+  std::int16_t check_ttl_slack = 2;
+  std::size_t pending_cap = 10;
+  sim::Time pending_residency = sim::seconds(3);
+  /// Forwarding of RREQ/CSI-check floods is deferred proportionally to the
+  /// CSI hop distance of the incoming link (plus a small random dither), so
+  /// the first copy to arrive anywhere travelled an approximately
+  /// CSI-shortest path.  This is how the first-copy-forwarding rule of §II
+  /// ends up electing channel-adaptive routes.
+  sim::Time csi_jitter = sim::milliseconds(10);
+  /// After a route switch, data packets keep carrying the update flag for
+  /// this long, so the re-anchoring survives the loss of the first packet.
+  sim::Time update_flag_window = sim::milliseconds(100);
+  /// Switch hysteresis: a candidate must beat the current route's CSI
+  /// distance by this much before the source abandons a working route.
+  /// Without it, equal-cost candidates arriving in CSMA-jitter order make
+  /// the route oscillate every checking round.
+  double switch_margin = 0.5;
+  /// §II-C hints the checking period "has to be decided by the change speed
+  /// of the link CSI".  When enabled, the destination adapts its period:
+  /// halved when the delivered packets' route visibly changed since the
+  /// last check (volatile channel), stretched by 25% when it stayed put.
+  bool adaptive_checks = false;
+  sim::Time check_period_min = sim::milliseconds(250);
+  sim::Time check_period_max = sim::seconds(4);
+};
+
+class RicaProtocol final : public routing::Protocol {
+ public:
+  RicaProtocol(routing::ProtocolHost& host, const RicaConfig& cfg = {});
+
+  void handle_data(net::DataPacket pkt, net::NodeId from) override;
+  void on_control(const net::ControlPacket& pkt, net::NodeId from) override;
+  void on_link_break(net::NodeId neighbor,
+                     std::vector<net::DataPacket> stranded) override;
+  [[nodiscard]] std::string_view name() const override { return "RICA"; }
+
+  // -- white-box accessors for tests ----------------------------------------
+  /// The source's current first hop for (this node -> dst), if valid.
+  [[nodiscard]] std::optional<net::NodeId> source_next_hop(
+      net::NodeId dst) const;
+  /// A relay's current downstream for the flow, if its entry is live.
+  [[nodiscard]] std::optional<net::NodeId> relay_downstream(
+      net::FlowKey flow) const;
+  /// Latest first-check downstream candidate recorded at this relay.
+  [[nodiscard]] std::optional<net::NodeId> check_candidate(
+      net::FlowKey flow) const;
+
+ private:
+  /// One CSI-check (or RREQ) derived route candidate at the source.
+  struct Candidate {
+    net::NodeId first_hop = 0;
+    double csi_hops = 0.0;
+    std::uint16_t topo_hops = 0;
+  };
+  struct SourceState {
+    bool valid = false;
+    net::NodeId next_hop = 0;
+    double route_csi_cost = 1e9;    ///< CSI distance of the current route,
+                                    ///< refreshed by the checking rounds
+    sim::Time update_flag_until{};  ///< tag data packets with the route
+                                    ///< update flag until this time (§II-C)
+    // discovery
+    bool discovering = false;
+    std::uint32_t bid = 0;
+    int attempts = 0;
+    routing::PendingBuffer pending;
+    // CSI-check collection
+    bool window_open = false;
+    std::uint32_t window_bid = 0;
+    std::vector<Candidate> window_candidates;
+    std::vector<Candidate> last_candidates;  ///< last closed window
+    sim::Time last_window_close{};
+    sim::Time last_check_seen{};
+    explicit SourceState(const RicaConfig& cfg)
+        : pending(cfg.pending_cap, cfg.pending_residency) {}
+  };
+  struct RelayState {
+    bool valid = false;
+    net::NodeId upstream = 0;
+    net::NodeId downstream = 0;
+    sim::Time last_used{};
+    std::uint16_t hops_to_dst = 0;
+    // first CSI check of the latest broadcast id seen here
+    std::uint32_t check_bid = 0;
+    net::NodeId check_next = 0;
+    bool check_next_valid = false;
+    // overheard possible-upstream (PN detection window bookkeeping)
+    net::NodeId cand_upstream = 0;
+    sim::Time cand_upstream_expiry{};
+  };
+  struct DestState {
+    bool checks_armed = false;
+    std::uint32_t next_check_bid = 1;
+    sim::Time last_data{};
+    std::uint16_t route_hops = 4;  ///< TTL basis, refreshed by delivered data
+    // RREQ collection window
+    bool window_open = false;
+    std::uint32_t window_bid = 0;
+    std::vector<Candidate> window_candidates;
+    // adaptive checking (extension): track route volatility between checks
+    sim::Time check_period{};
+    net::NodeId last_hop_seen = net::kBroadcastId;
+    double last_route_tput = 0.0;
+    bool route_changed_since_check = false;
+  };
+
+  // -- source side -----------------------------------------------------------
+  void source_send(SourceState& s, net::FlowKey flow, net::DataPacket pkt);
+  void begin_discovery(net::FlowKey flow);
+  void send_rreq(net::FlowKey flow);
+  void switch_route(net::FlowKey flow, SourceState& s,
+                    const Candidate& chosen);
+  void close_source_window(net::FlowKey flow);
+  bool try_candidate_fallback(net::FlowKey flow, SourceState& s,
+                              net::NodeId exclude);
+  void flush_pending(net::FlowKey flow, SourceState& s);
+
+  // -- destination side ------------------------------------------------------
+  void arm_checks(net::FlowKey flow);
+  void broadcast_check(net::FlowKey flow);
+  void close_dest_window(net::FlowKey flow);
+
+  // -- message handlers ------------------------------------------------------
+  void on_rreq(const net::RreqMsg& msg, net::NodeId from);
+  void on_rrep(const net::RrepMsg& msg, net::NodeId from);
+  void on_check(const net::CsiCheckMsg& msg, net::NodeId from);
+  void on_rupd(const net::RupdMsg& msg, net::NodeId from);
+  void on_reer(const net::ReerMsg& msg, net::NodeId from);
+
+  [[nodiscard]] sim::Time now() const;
+  SourceState& source_state(net::FlowKey flow);
+  [[nodiscard]] bool relay_entry_live(const RelayState& r) const;
+  /// CSI-proportional flood-forwarding delay for the link class `cls`.
+  [[nodiscard]] sim::Time forward_jitter(channel::CsiClass cls);
+
+  RicaConfig cfg_;
+  routing::HistoryTable history_;
+  std::unordered_map<net::FlowKey, SourceState> sources_;
+  std::unordered_map<net::FlowKey, RelayState> relays_;
+  std::unordered_map<net::FlowKey, DestState> dests_;
+  std::unordered_map<std::uint64_t, net::NodeId> rreq_upstream_;
+  std::uint32_t next_bid_ = 1;
+};
+
+}  // namespace rica::core

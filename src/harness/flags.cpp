@@ -1,0 +1,83 @@
+#include "harness/flags.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rica::harness {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--flag value" or a bare boolean "--flag".
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "1";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::get(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+int Flags::get(const std::string& name, int fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stoi(it->second);
+}
+
+std::uint64_t Flags::get(const std::string& name,
+                         std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stoull(it->second);
+}
+
+std::vector<double> Flags::get_list(const std::string& name,
+                                    const std::vector<double>& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+BenchScale bench_scale(const Flags& flags, int def_trials, double def_sim_s) {
+  BenchScale scale{};
+  if (flags.has("paper-scale")) {
+    scale.trials = 25;
+    scale.sim_s = 500.0;
+  } else {
+    scale.trials = def_trials;
+    scale.sim_s = def_sim_s;
+  }
+  scale.trials = flags.get("trials", scale.trials);
+  scale.sim_s = flags.get("sim-time", scale.sim_s);
+  scale.seed = flags.get("seed", static_cast<std::uint64_t>(1));
+  return scale;
+}
+
+}  // namespace rica::harness

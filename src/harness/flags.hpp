@@ -1,0 +1,54 @@
+// A tiny command-line flag parser for the bench and example binaries.
+//
+// Supported forms: --name value and --name=value.  Unknown flags abort with
+// a usage message so typos never silently run the wrong experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rica::harness {
+
+/// Parsed command-line flags with typed accessors and defaults.
+class Flags {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get(const std::string& name, double fallback) const;
+  [[nodiscard]] int get(const std::string& name, int fallback) const;
+  [[nodiscard]] std::uint64_t get(const std::string& name,
+                                  std::uint64_t fallback) const;
+
+  /// Comma-separated list of doubles (e.g. --speeds 0,18,36).
+  [[nodiscard]] std::vector<double> get_list(
+      const std::string& name, const std::vector<double>& fallback) const;
+
+  /// Names seen on the command line (for validation by the binary).
+  [[nodiscard]] const std::map<std::string, std::string>& all() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Common scale flags shared by every figure bench:
+///   --trials N        independent seeds per point (default `def_trials`)
+///   --sim-time S      seconds of simulated time (default `def_sim_s`)
+///   --seed S          base seed
+///   --paper-scale     shorthand for the paper's 25 trials x 500 s
+struct BenchScale {
+  int trials;
+  double sim_s;
+  std::uint64_t seed;
+};
+[[nodiscard]] BenchScale bench_scale(const Flags& flags, int def_trials,
+                                     double def_sim_s);
+
+}  // namespace rica::harness

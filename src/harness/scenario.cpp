@@ -1,0 +1,224 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <stdexcept>
+
+#include "core/rica.hpp"
+#include "net/network.hpp"
+#include "routing/abr/abr.hpp"
+#include "routing/aodv/aodv.hpp"
+#include "routing/bgca/bgca.hpp"
+#include "routing/linkstate/linkstate.hpp"
+#include "traffic/poisson.hpp"
+
+namespace rica::harness {
+
+std::string_view to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kRica:
+      return "RICA";
+    case ProtocolKind::kBgca:
+      return "BGCA";
+    case ProtocolKind::kAbr:
+      return "ABR";
+    case ProtocolKind::kAodv:
+      return "AODV";
+    case ProtocolKind::kLinkState:
+      return "LinkState";
+  }
+  return "?";
+}
+
+ProtocolKind protocol_from_string(std::string_view name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "rica") return ProtocolKind::kRica;
+  if (lower == "bgca") return ProtocolKind::kBgca;
+  if (lower == "abr") return ProtocolKind::kAbr;
+  if (lower == "aodv") return ProtocolKind::kAodv;
+  if (lower == "linkstate" || lower == "link-state" || lower == "ls") {
+    return ProtocolKind::kLinkState;
+  }
+  throw std::invalid_argument("unknown protocol: " + std::string(name));
+}
+
+namespace {
+
+net::NetworkConfig to_network_config(const ScenarioConfig& cfg) {
+  net::NetworkConfig net;
+  net.num_nodes = cfg.num_nodes;
+  net.mobility.field = mobility::Field{cfg.field_m, cfg.field_m};
+  net.mobility.max_speed_mps = 2.0 * cfg.mean_speed_kmh / 3.6;
+  net.mobility.pause = sim::seconds_f(cfg.pause_s);
+  net.channel.range_m = cfg.radio_range_m;
+  net.seed = cfg.seed;
+  return net;
+}
+
+/// The paper installs an accurate topology snapshot into every terminal at
+/// t = 0 for the link-state runs.
+routing::LinkStateProtocol::Topology snapshot_topology(net::Network& network) {
+  routing::LinkStateProtocol::Topology topo(network.size());
+  for (std::uint32_t a = 0; a < network.size(); ++a) {
+    for (std::uint32_t b = 0; b < network.size(); ++b) {
+      if (a == b) continue;
+      if (const auto s = network.channel().sample(a, b, sim::Time::zero())) {
+        topo[a].emplace_back(b, s->csi);
+      }
+    }
+    std::sort(topo[a].begin(), topo[a].end());
+  }
+  return topo;
+}
+
+void install_protocols(net::Network& network, const ScenarioConfig& cfg) {
+  for (net::NodeId id = 0; id < network.size(); ++id) {
+    auto& node = network.node(id);
+    switch (cfg.protocol) {
+      case ProtocolKind::kRica:
+        node.set_protocol(
+            std::make_unique<core::RicaProtocol>(node, cfg.rica));
+        break;
+      case ProtocolKind::kAodv:
+        node.set_protocol(std::make_unique<routing::AodvProtocol>(node));
+        break;
+      case ProtocolKind::kBgca: {
+        routing::BgcaConfig bgca;
+        bgca.flow_rate_bps = cfg.pkts_per_s * cfg.packet_bytes * 8.0;
+        node.set_protocol(
+            std::make_unique<routing::BgcaProtocol>(node, bgca));
+        break;
+      }
+      case ProtocolKind::kAbr:
+        node.set_protocol(std::make_unique<routing::AbrProtocol>(node));
+        break;
+      case ProtocolKind::kLinkState: {
+        routing::LinkStateConfig ls;
+        ls.num_nodes = cfg.num_nodes;
+        node.set_protocol(
+            std::make_unique<routing::LinkStateProtocol>(node, ls));
+        break;
+      }
+    }
+  }
+  if (cfg.protocol == ProtocolKind::kLinkState) {
+    const auto topo = snapshot_topology(network);
+    for (net::NodeId id = 0; id < network.size(); ++id) {
+      auto& proto = static_cast<routing::LinkStateProtocol&>(
+          network.node(id).protocol());
+      proto.install_topology(topo);
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Connected components of the t=0 range graph, so traffic pairs are
+/// routable at simulation start (the paper's near-perfect zero-mobility
+/// delivery implies its pairs were connected; partitioned pairs would
+/// depress every protocol identically and mask the comparison).
+std::vector<std::uint32_t> components_at_t0(net::Network& network) {
+  const auto n = static_cast<std::uint32_t>(network.size());
+  std::vector<std::uint32_t> comp(n, n);
+  std::uint32_t next_comp = 0;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (comp[start] != n) continue;
+    comp[start] = next_comp;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const auto u = stack.back();
+      stack.pop_back();
+      for (const auto v : network.channel().neighbors_of(u, sim::Time::zero())) {
+        if (comp[v] == n) {
+          comp[v] = next_comp;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_comp;
+  }
+  return comp;
+}
+
+std::vector<traffic::Flow> connected_flows(net::Network& network,
+                                           const ScenarioConfig& cfg) {
+  auto flow_rng = network.rng().stream("flows");
+  const auto comp = components_at_t0(network);
+  // Resample until every pair is connected at t=0 (bounded; falls back to
+  // the last draw for pathological layouts).
+  std::vector<traffic::Flow> flows;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    flows = traffic::random_flows(cfg.num_pairs, cfg.num_nodes,
+                                  cfg.pkts_per_s, flow_rng);
+    const bool ok = std::all_of(flows.begin(), flows.end(),
+                                [&comp](const traffic::Flow& f) {
+                                  return comp[f.src] == comp[f.dst];
+                                });
+    if (ok) break;
+  }
+  return flows;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  net::Network network(to_network_config(cfg));
+  install_protocols(network, cfg);
+
+  auto flows = connected_flows(network, cfg);
+  traffic::PoissonTraffic traffic(network, std::move(flows), cfg.packet_bytes,
+                                  sim::seconds_f(cfg.sim_s),
+                                  network.rng().stream("traffic"));
+  network.start();
+  traffic.start();
+  network.simulator().run_until(sim::seconds_f(cfg.sim_s));
+  return network.metrics().finalize(sim::seconds_f(cfg.sim_s));
+}
+
+ScenarioResult average(const std::vector<ScenarioResult>& runs) {
+  ScenarioResult avg;
+  if (runs.empty()) return avg;
+  const double n = static_cast<double>(runs.size());
+  std::size_t series_len = 0;
+  for (const auto& r : runs) {
+    avg.generated += r.generated;
+    avg.delivered += r.delivered;
+    avg.delivery_pct += r.delivery_pct / n;
+    avg.avg_delay_ms += r.avg_delay_ms / n;
+    avg.overhead_kbps += r.overhead_kbps / n;
+    avg.avg_link_tput_kbps += r.avg_link_tput_kbps / n;
+    avg.avg_hops += r.avg_hops / n;
+    avg.control_transmissions += r.control_transmissions;
+    avg.control_collisions += r.control_collisions;
+    for (std::size_t i = 0; i < stats::kNumDropReasons; ++i) {
+      avg.drops[i] += r.drops[i];
+    }
+    series_len = std::max(series_len, r.tput_kbps_series.size());
+  }
+  avg.tput_kbps_series.assign(series_len, 0.0);
+  for (const auto& r : runs) {
+    for (std::size_t i = 0; i < r.tput_kbps_series.size(); ++i) {
+      avg.tput_kbps_series[i] += r.tput_kbps_series[i] / n;
+    }
+  }
+  return avg;
+}
+
+ScenarioResult run_trials(ScenarioConfig cfg, int trials) {
+  const std::uint64_t base_seed = cfg.seed;
+  std::vector<ScenarioResult> runs;
+  runs.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    cfg.seed = base_seed + static_cast<std::uint64_t>(t);
+    runs.push_back(run_scenario(cfg));
+  }
+  return average(runs);
+}
+
+}  // namespace rica::harness

@@ -1,0 +1,60 @@
+// Experiment harness: builds a full network + traffic for one of the five
+// protocols, runs it, and returns the paper's §III metrics.  Multi-trial
+// sweeps average over independent seeds exactly as the paper averages over
+// 25 simulation runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/rica.hpp"
+#include "stats/metrics.hpp"
+
+namespace rica::harness {
+
+/// The five protocols of the paper's comparison.
+enum class ProtocolKind { kRica, kBgca, kAbr, kAodv, kLinkState };
+
+inline constexpr std::array<ProtocolKind, 5> kAllProtocols = {
+    ProtocolKind::kAodv, ProtocolKind::kRica, ProtocolKind::kBgca,
+    ProtocolKind::kAbr, ProtocolKind::kLinkState};
+
+[[nodiscard]] std::string_view to_string(ProtocolKind kind);
+
+/// Parses "RICA", "aodv", "link-state", ... (case-insensitive).
+[[nodiscard]] ProtocolKind protocol_from_string(std::string_view name);
+
+/// One experiment instance.  Defaults are the paper's §III-A parameters
+/// except `sim_s`, which the bench flags raise to 500 s at paper scale.
+struct ScenarioConfig {
+  ProtocolKind protocol = ProtocolKind::kRica;
+  std::size_t num_nodes = 50;
+  double field_m = 1000.0;
+  double radio_range_m = 250.0;
+  double mean_speed_kmh = 36.0;  ///< speeds ~ U(0, 2*mean); paper's x-axis
+  double pause_s = 3.0;
+  std::size_t num_pairs = 10;
+  double pkts_per_s = 10.0;
+  std::uint16_t packet_bytes = 512;
+  double sim_s = 100.0;
+  std::uint64_t seed = 1;
+  /// RICA tunables used when protocol == kRica (ablation studies).
+  core::RicaConfig rica{};
+};
+
+/// A run's outcome: the §III metrics.
+using ScenarioResult = stats::MetricsSummary;
+
+/// Runs a single trial.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+/// Per-metric mean over trials, including the element-wise mean of the
+/// throughput time series.
+[[nodiscard]] ScenarioResult average(const std::vector<ScenarioResult>& runs);
+
+/// Runs `trials` independent seeds (seed, seed+1, ...) and averages.
+[[nodiscard]] ScenarioResult run_trials(ScenarioConfig cfg, int trials);
+
+}  // namespace rica::harness

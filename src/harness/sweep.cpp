@@ -1,0 +1,79 @@
+#include "harness/sweep.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "harness/table.hpp"
+
+namespace rica::harness {
+
+std::vector<double> paper_speeds() {
+  return {0.0, 14.4, 28.8, 43.2, 57.6, 72.0};
+}
+
+std::vector<SweepPoint> run_speed_sweep(const std::vector<double>& speeds_kmh,
+                                        const std::vector<double>& loads,
+                                        const BenchScale& scale) {
+  std::vector<SweepPoint> grid;
+  grid.reserve(speeds_kmh.size() * loads.size() * kAllProtocols.size());
+  for (const double load : loads) {
+    for (const double speed : speeds_kmh) {
+      for (const ProtocolKind proto : kAllProtocols) {
+        ScenarioConfig cfg;
+        cfg.protocol = proto;
+        cfg.mean_speed_kmh = speed;
+        cfg.pkts_per_s = load;
+        cfg.sim_s = scale.sim_s;
+        cfg.seed = scale.seed;
+        std::fprintf(stderr, "[sweep] %-9s speed=%5.1f km/h load=%4.1f pkt/s"
+                             " (%d trials x %.0f s)\n",
+                     std::string(to_string(proto)).c_str(), speed, load,
+                     scale.trials, scale.sim_s);
+        grid.push_back(
+            SweepPoint{proto, speed, load, run_trials(cfg, scale.trials)});
+      }
+    }
+  }
+  return grid;
+}
+
+void print_figure(std::ostream& os, const std::vector<SweepPoint>& grid,
+                  double load, const std::string& title,
+                  const std::function<double(const ScenarioResult&)>& metric,
+                  int precision) {
+  os << title << '\n';
+  std::vector<std::string> header{"speed_kmh"};
+  for (const auto proto : kAllProtocols) {
+    header.emplace_back(to_string(proto));
+  }
+  Table table(std::move(header));
+
+  std::vector<double> speeds;
+  for (const auto& p : grid) {
+    if (p.pkts_per_s != load) continue;
+    if (speeds.empty() || speeds.back() != p.mean_speed_kmh) {
+      if (std::find(speeds.begin(), speeds.end(), p.mean_speed_kmh) ==
+          speeds.end()) {
+        speeds.push_back(p.mean_speed_kmh);
+      }
+    }
+  }
+  for (const double speed : speeds) {
+    std::vector<std::string> row{fmt(speed, 1)};
+    for (const auto proto : kAllProtocols) {
+      for (const auto& p : grid) {
+        if (p.protocol == proto && p.mean_speed_kmh == speed &&
+            p.pkts_per_s == load) {
+          row.push_back(fmt(metric(p.result), precision));
+          break;
+        }
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+  os << '\n';
+}
+
+}  // namespace rica::harness

@@ -1,0 +1,43 @@
+// Speed/load sweeps shared by the figure-reproduction benches.
+//
+// Figures 2, 3 and 4 of the paper plot three metrics of the same experiment
+// grid: {5 protocols} x {mean speeds 0..72 km/h} x {10, 20 pkt/s}.  The
+// sweep runner executes that grid once (multi-trial averaged) and the bench
+// binaries print the column they reproduce.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/flags.hpp"
+#include "harness/scenario.hpp"
+
+namespace rica::harness {
+
+/// One grid cell: protocol x speed x offered load.
+struct SweepPoint {
+  ProtocolKind protocol;
+  double mean_speed_kmh = 0.0;
+  double pkts_per_s = 0.0;
+  ScenarioResult result;
+};
+
+/// The paper's x-axis: mean speeds 0..72 km/h (MAXSPEED 0..144).
+[[nodiscard]] std::vector<double> paper_speeds();
+
+/// Runs the full grid.  Progress notes go to stderr so stdout stays a clean
+/// table stream.
+[[nodiscard]] std::vector<SweepPoint> run_speed_sweep(
+    const std::vector<double>& speeds_kmh, const std::vector<double>& loads,
+    const BenchScale& scale);
+
+/// Prints one "figure": rows = speed, columns = protocols, cells =
+/// `metric(result)` formatted with `precision` digits.
+void print_figure(std::ostream& os, const std::vector<SweepPoint>& grid,
+                  double load, const std::string& title,
+                  const std::function<double(const ScenarioResult&)>& metric,
+                  int precision = 1);
+
+}  // namespace rica::harness

@@ -1,0 +1,28 @@
+// Fixed-width table printing for the figure-reproduction benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rica::harness {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with two-space column gaps; the header gets a dashed rule.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (no trailing garbage).
+[[nodiscard]] std::string fmt(double value, int precision = 1);
+
+}  // namespace rica::harness

@@ -1,0 +1,154 @@
+#include "mac/common_channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rica::mac {
+
+namespace {
+/// Intervals older than this are irrelevant to any in-flight reception.
+constexpr sim::Time kHeardHorizon = sim::milliseconds(50);
+}  // namespace
+
+CommonChannelMac::CommonChannelMac(sim::Simulator& sim,
+                                   channel::ChannelModel& channel,
+                                   const sim::RngManager& rng,
+                                   stats::MetricsCollector& metrics,
+                                   const CommonChannelConfig& cfg)
+    : sim_(sim), channel_(channel), metrics_(metrics), cfg_(cfg) {
+  nodes_.resize(channel.num_nodes());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].rng = rng.stream("mac", i);
+  }
+}
+
+void CommonChannelMac::register_node(net::NodeId id, RxHandler handler) {
+  assert(id < nodes_.size());
+  nodes_[id].handler = std::move(handler);
+}
+
+sim::Time CommonChannelMac::airtime(std::uint16_t size_bytes) const {
+  return sim::seconds_f(size_bytes * 8.0 / cfg_.rate_bps);
+}
+
+void CommonChannelMac::send(net::NodeId from, net::ControlPacket pkt) {
+  assert(from < nodes_.size());
+  auto& st = nodes_[from];
+  if (st.queue.size() >= cfg_.queue_cap) {
+    metrics_.inc("mac.ctrl_queue_drop");
+    return;  // drop-tail: the channel is saturated
+  }
+  st.queue.push_back(QueuedControl{std::move(pkt), 0});
+  if (!st.transmitting && !st.attempt_pending) {
+    schedule_attempt(from, sim::Time::zero());
+  }
+}
+
+void CommonChannelMac::schedule_attempt(net::NodeId id, sim::Time delay) {
+  auto& st = nodes_[id];
+  st.attempt_pending = true;
+  sim_.after(delay, [this, id] { attempt(id); });
+}
+
+sim::Time CommonChannelMac::random_backoff(NodeState& st) {
+  const double lo = static_cast<double>(cfg_.backoff_min.nanos());
+  const double hi = static_cast<double>(cfg_.backoff_max.nanos());
+  return sim::Time{static_cast<std::int64_t>(st.rng.uniform(lo, hi))};
+}
+
+void CommonChannelMac::prune_heard(NodeState& st, sim::Time now) const {
+  const sim::Time horizon = now - kHeardHorizon;
+  std::erase_if(st.heard,
+                [horizon](const Interval& iv) { return iv.end < horizon; });
+}
+
+bool CommonChannelMac::medium_busy(const NodeState& st, sim::Time now) const {
+  if (st.transmitting) return true;
+  return std::any_of(st.heard.begin(), st.heard.end(),
+                     [now](const Interval& iv) {
+                       return iv.start <= now && now < iv.end;
+                     });
+}
+
+void CommonChannelMac::attempt(net::NodeId id) {
+  auto& st = nodes_[id];
+  st.attempt_pending = false;
+  if (st.transmitting) return;  // a tx started meanwhile; re-pumped at its end
+  if (st.queue.empty()) return;
+  prune_heard(st, sim_.now());
+  if (medium_busy(st, sim_.now())) {
+    schedule_attempt(id, random_backoff(st));
+    return;
+  }
+  start_tx(id);
+}
+
+void CommonChannelMac::start_tx(net::NodeId id) {
+  auto& st = nodes_[id];
+  assert(!st.queue.empty());
+  QueuedControl entry = std::move(st.queue.front());
+  st.queue.pop_front();
+  st.transmitting = true;
+
+  const sim::Time start = sim_.now();
+  const sim::Time end = start + airtime(entry.pkt.size_bytes);
+  const std::uint64_t tx_id = next_tx_id_++;
+
+  // Coverage is evaluated at transmission start; node motion within a few
+  // milliseconds of airtime is negligible at the paper's speeds.
+  const auto receivers = channel_.neighbors_of(id, start);
+  for (const auto r : receivers) {
+    nodes_[r].heard.push_back(Interval{start, end, tx_id});
+  }
+  // Record our own airtime too: it is what makes a half-duplex node deaf to
+  // transmissions that overlap its own.
+  st.heard.push_back(Interval{start, end, tx_id});
+  metrics_.on_control_tx(entry.pkt.size_bytes * 8u);
+
+  sim_.at(end, [this, id, entry = std::move(entry), receivers, start, end,
+                tx_id]() mutable {
+    auto& sender = nodes_[id];
+    sender.transmitting = false;
+    const net::ControlPacket& pkt = entry.pkt;
+
+    bool unicast_ok = false;
+    for (const auto r : receivers) {
+      if (pkt.to != net::kBroadcastId && pkt.to != r) continue;
+      auto& rst = nodes_[r];
+      // Half duplex: a node that transmitted during our airtime missed us.
+      // Collision: any other transmission covering r overlapping [start,end].
+      const bool collided =
+          std::any_of(rst.heard.begin(), rst.heard.end(),
+                      [&](const Interval& iv) {
+                        return iv.tx_id != tx_id && iv.start < end &&
+                               start < iv.end;
+                      }) ||
+          rst.transmitting;
+      if (collided) {
+        metrics_.on_control_collision();
+        continue;
+      }
+      unicast_ok = true;
+      if (rst.handler) rst.handler(pkt, id);
+    }
+
+    // CSMA/CA acknowledges unicast frames; a missing ACK triggers a
+    // retransmission after a fresh backoff.  Broadcasts are fire-and-forget.
+    if (pkt.to != net::kBroadcastId && !unicast_ok) {
+      ++entry.attempts;
+      if (entry.attempts < cfg_.unicast_attempts) {
+        nodes_[id].queue.push_front(std::move(entry));
+      } else {
+        metrics_.inc("mac.unicast_fail");
+      }
+    }
+
+    // Pump the sender's queue: contend again after a fresh backoff.
+    if (!nodes_[id].queue.empty() && !nodes_[id].attempt_pending) {
+      schedule_attempt(id, random_backoff(nodes_[id]));
+    }
+  });
+}
+
+}  // namespace rica::mac

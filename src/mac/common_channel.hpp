@@ -1,0 +1,105 @@
+// The shared 250 kbps control channel with unslotted CSMA/CA (paper §III-A).
+//
+// All routing packets travel on one common channel; data packets travel on
+// per-link CDMA codes (see link_transmitter.hpp).  The paper assumes the
+// common channel is "robust" against fading, so receptions here fail only
+// due to collisions, which this MAC models explicitly:
+//   * carrier sense: a node defers (random backoff) while any transmission
+//     whose sender is within range is on the air;
+//   * hidden terminals: a reception at r fails when a second transmission
+//     covering r overlaps the packet in time (no capture effect);
+//   * half duplex: a node transmitting cannot simultaneously receive;
+//   * bounded per-node control queue: drop-tail under overload — this is the
+//     mechanism behind the paper's link-state congestion collapse.
+//
+// Each transmission is charged size*8 bits of routing overhead exactly once
+// (per §III-A: "each time the common channel is used ... counted as one
+// transmission"), regardless of how many neighbours hear it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "channel/channel_model.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "stats/metrics.hpp"
+
+namespace rica::mac {
+
+/// Tunables of the common channel MAC.
+struct CommonChannelConfig {
+  double rate_bps = 250'000.0;            ///< paper: 250 kbps common channel
+  sim::Time backoff_min = sim::microseconds(500);
+  sim::Time backoff_max = sim::milliseconds(4);
+  /// Per-node control queue bound.  Deliberately deep (plain FIFO, no AQM —
+  /// faithful to 2002-era MACs): under flooding overload packets are not
+  /// so much lost as delivered *late*, which is what lets stale link-state
+  /// updates poison remote views (§III-B).
+  std::size_t queue_cap = 500;
+  int unicast_attempts = 3;               ///< CSMA/CA ACK-retransmit emulation
+};
+
+/// Network-wide CSMA/CA MAC for control traffic.
+class CommonChannelMac {
+ public:
+  /// Reception callback: (packet, transmitter id).
+  using RxHandler = std::function<void(const net::ControlPacket&, net::NodeId)>;
+
+  CommonChannelMac(sim::Simulator& sim, channel::ChannelModel& channel,
+                   const sim::RngManager& rng, stats::MetricsCollector& metrics,
+                   const CommonChannelConfig& cfg);
+
+  /// Registers a node's receive handler.  Must be called once per node
+  /// before any send().
+  void register_node(net::NodeId id, RxHandler handler);
+
+  /// Queues a control packet for CSMA transmission from `from`.  Broadcasts
+  /// (pkt.to == kBroadcastId) reach every in-range node; unicasts reach only
+  /// pkt.to.  Either way collisions can destroy individual receptions.
+  void send(net::NodeId from, net::ControlPacket pkt);
+
+  /// Transmission airtime of a packet at the common-channel rate.
+  [[nodiscard]] sim::Time airtime(std::uint16_t size_bytes) const;
+
+  [[nodiscard]] const CommonChannelConfig& config() const { return cfg_; }
+
+ private:
+  struct Interval {
+    sim::Time start;
+    sim::Time end;
+    std::uint64_t tx_id = 0;
+  };
+  struct QueuedControl {
+    net::ControlPacket pkt;
+    int attempts = 0;
+  };
+  struct NodeState {
+    std::deque<QueuedControl> queue;
+    RxHandler handler;
+    sim::RandomStream rng{0};
+    bool transmitting = false;
+    bool attempt_pending = false;
+    std::vector<Interval> heard;  ///< transmissions covering this node
+  };
+
+  void schedule_attempt(net::NodeId id, sim::Time delay);
+  void attempt(net::NodeId id);
+  void start_tx(net::NodeId id);
+  [[nodiscard]] bool medium_busy(const NodeState& st, sim::Time now) const;
+  void prune_heard(NodeState& st, sim::Time now) const;
+  [[nodiscard]] sim::Time random_backoff(NodeState& st);
+
+  sim::Simulator& sim_;
+  channel::ChannelModel& channel_;
+  stats::MetricsCollector& metrics_;
+  CommonChannelConfig cfg_;
+  std::vector<NodeState> nodes_;
+  std::uint64_t next_tx_id_ = 1;
+};
+
+}  // namespace rica::mac

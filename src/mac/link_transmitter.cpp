@@ -1,0 +1,139 @@
+#include "mac/link_transmitter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace rica::mac {
+
+LinkTransmitter::LinkTransmitter(net::NodeId self, sim::Simulator& sim,
+                                 channel::ChannelModel& channel,
+                                 stats::MetricsCollector& metrics,
+                                 const LinkConfig& cfg)
+    : self_(self), sim_(sim), channel_(channel), metrics_(metrics), cfg_(cfg) {}
+
+void LinkTransmitter::enqueue(net::DataPacket pkt, net::NodeId next_hop) {
+  assert(next_hop != self_ && "cannot enqueue to self");
+  if (pkt.hops >= cfg_.hop_cap) {
+    if (on_drop_) on_drop_(pkt, stats::DropReason::kLoopCap);
+    return;
+  }
+  auto& link = links_[next_hop];
+  if (link.q.size() >= cfg_.buffer_cap) {
+    if (on_drop_) on_drop_(pkt, stats::DropReason::kBufferOverflow);
+    return;
+  }
+  link.q.push_back(Queued{std::move(pkt), sim_.now()});
+  pump(next_hop);
+}
+
+std::vector<net::DataPacket> LinkTransmitter::drain(net::NodeId neighbor) {
+  std::vector<net::DataPacket> out;
+  const auto it = links_.find(neighbor);
+  if (it == links_.end()) return out;
+  auto& link = it->second;
+  // The head packet of a busy link is on the air; it stays.
+  const std::size_t keep = link.busy && !link.q.empty() ? 1 : 0;
+  while (link.q.size() > keep) {
+    out.push_back(std::move(link.q.back().pkt));
+    link.q.pop_back();
+  }
+  // Preserve FIFO order of the drained tail.
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::size_t LinkTransmitter::buffered() const {
+  std::size_t total = 0;
+  for (const auto& [_, link] : links_) total += link.q.size();
+  return total;
+}
+
+std::size_t LinkTransmitter::queue_length(net::NodeId neighbor) const {
+  const auto it = links_.find(neighbor);
+  return it == links_.end() ? 0 : it->second.q.size();
+}
+
+void LinkTransmitter::pump(net::NodeId neighbor) {
+  auto& link = links_[neighbor];
+  if (link.busy) return;
+  // Enforce the 3 s residency bound lazily at service time.
+  while (!link.q.empty() &&
+         sim_.now() - link.q.front().enqueued > cfg_.buffer_residency) {
+    if (on_drop_) on_drop_(link.q.front().pkt, stats::DropReason::kExpired);
+    link.q.pop_front();
+  }
+  if (link.q.empty()) return;
+  link.busy = true;
+  tx_attempt(neighbor);
+}
+
+void LinkTransmitter::tx_attempt(net::NodeId neighbor) {
+  auto& link = links_[neighbor];
+  assert(link.busy && !link.q.empty());
+
+  const auto sample = channel_.sample(self_, neighbor, sim_.now());
+  if (!sample) {
+    fail(neighbor);
+    return;
+  }
+  const double rate = channel::throughput_bps(sample->csi);
+  const auto& pkt = link.q.front().pkt;
+  const sim::Time data_time = sim::seconds_f(pkt.size_bytes * 8.0 / rate);
+  const sim::Time ack_time = sim::seconds_f(cfg_.ack_bytes * 8.0 / rate);
+  const auto csi = sample->csi;
+
+  sim_.after(data_time, [this, neighbor, csi, ack_time] {
+    auto& lnk = links_[neighbor];
+    if (!lnk.busy || lnk.q.empty()) return;  // link was torn down meanwhile
+    if (!channel_.in_range(self_, neighbor, sim_.now())) {
+      fail(neighbor);  // receiver moved away mid-packet: no ACK will come
+      return;
+    }
+    // Reception succeeded; the receiver acknowledges on PN(B,A).  ACK bits
+    // count toward routing overhead (§III-A).
+    metrics_.on_ack_tx(cfg_.ack_bytes * 8u);
+    net::DataPacket delivered = std::move(lnk.q.front().pkt);
+    lnk.q.pop_front();
+    lnk.retries = 0;
+    delivered.hops = static_cast<std::uint16_t>(delivered.hops + 1);
+    delivered.tput_sum_bps += channel::throughput_bps(csi);
+    if (deliver_) deliver_(std::move(delivered), neighbor);
+    // The sender frees the code once the ACK lands.
+    sim_.after(ack_time, [this, neighbor] {
+      links_[neighbor].busy = false;
+      pump(neighbor);
+    });
+  });
+}
+
+void LinkTransmitter::fail(net::NodeId neighbor) {
+  auto& link = links_[neighbor];
+  ++link.retries;
+  if (link.retries > cfg_.max_retries) {
+    declare_break(neighbor);
+    return;
+  }
+  sim_.after(cfg_.retry_backoff, [this, neighbor] {
+    auto& lnk = links_[neighbor];
+    if (!lnk.busy) return;
+    if (lnk.q.empty()) {
+      lnk.busy = false;
+      return;
+    }
+    tx_attempt(neighbor);
+  });
+}
+
+void LinkTransmitter::declare_break(net::NodeId neighbor) {
+  auto& link = links_[neighbor];
+  std::vector<net::DataPacket> stranded;
+  stranded.reserve(link.q.size());
+  for (auto& q : link.q) stranded.push_back(std::move(q.pkt));
+  link.q.clear();
+  link.busy = false;
+  link.retries = 0;
+  if (on_break_) on_break_(neighbor, std::move(stranded));
+}
+
+}  // namespace rica::mac

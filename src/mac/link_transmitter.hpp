@@ -1,0 +1,99 @@
+// Per-link CDMA data-plane transmitter.
+//
+// Data packets travel on per-directed-link PN codes (multi-code CDMA, paper
+// §II): links do not contend with each other, but each directed link is a
+// serial server whose instantaneous rate is the current CSI class throughput
+// (ABICM adapts the coding/modulation to the channel).  Every data packet is
+// acknowledged on the reverse code PN(B,A); acknowledgement bits count toward
+// routing overhead (§III-A).  kMaxRetries consecutive failures (the
+// neighbour left transmission range) raise a link-break signal.
+//
+// The transmitter serves one FCFS queue per next hop with the paper's
+//10-packet capacity and 3-second residency bound.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "channel/channel_model.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "stats/metrics.hpp"
+
+namespace rica::mac {
+
+/// Data-plane tunables (defaults are the paper's §III-A setting).
+struct LinkConfig {
+  std::size_t buffer_cap = 10;                  ///< packets per link buffer
+  sim::Time buffer_residency = sim::seconds(3); ///< max queueing time
+  std::uint16_t ack_bytes = 10;
+  int max_retries = 3;
+  sim::Time retry_backoff = sim::milliseconds(25);
+  std::uint16_t hop_cap = 64;  ///< safety bound on routing loops
+};
+
+/// Serves all outgoing data links of one node.
+class LinkTransmitter {
+ public:
+  /// Successful delivery into the neighbour: (packet, receiver id).
+  using DeliverFn = std::function<void(net::DataPacket, net::NodeId)>;
+  /// Link declared broken: (neighbour, packets stranded in its queue).
+  using LinkBreakFn =
+      std::function<void(net::NodeId, std::vector<net::DataPacket>)>;
+  /// A queued packet was dropped (overflow / residency expiry).
+  using DropFn = std::function<void(const net::DataPacket&, stats::DropReason)>;
+
+  LinkTransmitter(net::NodeId self, sim::Simulator& sim,
+                  channel::ChannelModel& channel,
+                  stats::MetricsCollector& metrics, const LinkConfig& cfg);
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+  void set_on_break(LinkBreakFn fn) { on_break_ = std::move(fn); }
+  void set_on_drop(DropFn fn) { on_drop_ = std::move(fn); }
+
+  /// Enqueues a packet for `next_hop`.  Drops (and reports) on overflow or
+  /// when the packet exceeded the hop cap.
+  void enqueue(net::DataPacket pkt, net::NodeId next_hop);
+
+  /// Packets queued toward `neighbor` that have not begun transmission.
+  /// Removes and returns them (the in-flight head packet, if any, stays).
+  std::vector<net::DataPacket> drain(net::NodeId neighbor);
+
+  /// Total packets buffered across all links (ABR's load metric).
+  [[nodiscard]] std::size_t buffered() const;
+
+  /// Packets buffered toward one neighbour.
+  [[nodiscard]] std::size_t queue_length(net::NodeId neighbor) const;
+
+ private:
+  struct Queued {
+    net::DataPacket pkt;
+    sim::Time enqueued;
+  };
+  struct Link {
+    std::deque<Queued> q;
+    bool busy = false;
+    int retries = 0;
+  };
+
+  void pump(net::NodeId neighbor);
+  void tx_attempt(net::NodeId neighbor);
+  void fail(net::NodeId neighbor);
+  void declare_break(net::NodeId neighbor);
+
+  net::NodeId self_;
+  sim::Simulator& sim_;
+  channel::ChannelModel& channel_;
+  stats::MetricsCollector& metrics_;
+  LinkConfig cfg_;
+  std::unordered_map<net::NodeId, Link> links_;
+  DeliverFn deliver_;
+  LinkBreakFn on_break_;
+  DropFn on_drop_;
+};
+
+}  // namespace rica::mac

@@ -1,0 +1,84 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rica::mobility {
+
+WaypointNode::WaypointNode(const WaypointConfig& cfg, sim::RandomStream rng)
+    : cfg_(cfg), rng_(std::move(rng)) {
+  start_ = Vec2{rng_.uniform(0.0, cfg_.field.width),
+                rng_.uniform(0.0, cfg_.field.height)};
+  dest_ = start_;
+  // Begin with an immediate leg choice at t=0 (no initial pause), so motion
+  // statistics are homogeneous from the start of the measurement window.
+  start_new_leg(sim::Time::zero());
+}
+
+void WaypointNode::start_new_leg(sim::Time t) {
+  start_ = dest_;
+  leg_start_ = t;
+  if (cfg_.max_speed_mps <= 0.0) {
+    // Static scenario: stay put forever.
+    dest_ = start_;
+    leg_end_ = sim::Time::max();
+    pause_end_ = sim::Time::max();
+    leg_speed_ = 0.0;
+    return;
+  }
+  dest_ = Vec2{rng_.uniform(0.0, cfg_.field.width),
+               rng_.uniform(0.0, cfg_.field.height)};
+  // Uniform in (0, max]: avoid the degenerate 0 m/s draw that would freeze
+  // the node forever (the well-known random-waypoint harmonic-mean pitfall).
+  leg_speed_ = std::max(1e-3, rng_.uniform(0.0, cfg_.max_speed_mps));
+  const double dist = distance(start_, dest_);
+  const auto travel = sim::seconds_f(dist / leg_speed_);
+  leg_end_ = leg_start_ + travel;
+  pause_end_ = leg_end_ + cfg_.pause;
+}
+
+void WaypointNode::advance_to(sim::Time t) {
+  assert(t >= last_query_ && "mobility queried backwards in time");
+  last_query_ = t;
+  while (t >= pause_end_) {
+    start_new_leg(pause_end_);
+  }
+}
+
+Vec2 WaypointNode::position_at(sim::Time t) {
+  advance_to(t);
+  if (t >= leg_end_) return dest_;  // pausing at the destination
+  const double total = (leg_end_ - leg_start_).seconds();
+  if (total <= 0.0) return dest_;
+  const double frac = (t - leg_start_).seconds() / total;
+  return start_ + (dest_ - start_) * frac;
+}
+
+double WaypointNode::speed_at(sim::Time t) {
+  advance_to(t);
+  return t < leg_end_ ? leg_speed_ : 0.0;
+}
+
+MobilityManager::MobilityManager(std::size_t num_nodes,
+                                 const WaypointConfig& cfg,
+                                 const sim::RngManager& rng) {
+  nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    nodes_.emplace_back(cfg, rng.stream("mobility", i));
+  }
+}
+
+Vec2 MobilityManager::position(std::uint32_t id, sim::Time t) {
+  return nodes_.at(id).position_at(t);
+}
+
+double MobilityManager::node_distance(std::uint32_t a, std::uint32_t b,
+                                      sim::Time t) {
+  return distance(position(a, t), position(b, t));
+}
+
+double MobilityManager::speed(std::uint32_t id, sim::Time t) {
+  return nodes_.at(id).speed_at(t);
+}
+
+}  // namespace rica::mobility

@@ -1,0 +1,89 @@
+// Random-waypoint mobility, as used in the paper's evaluation:
+// each terminal picks a uniform destination in the field, moves toward it at
+// a speed drawn uniformly from (0, max_speed], pauses for `pause` seconds on
+// arrival, then repeats.  Positions are evaluated lazily: querying a node's
+// position at time t advances only that node's leg state, so cost scales
+// with the number of queries, not with a global tick rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/vec2.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rica::mobility {
+
+/// Rectangular field, meters.
+struct Field {
+  double width = 1000.0;
+  double height = 1000.0;
+
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+};
+
+/// Configuration for the random-waypoint process.
+struct WaypointConfig {
+  Field field{};
+  double max_speed_mps = 20.0;  ///< speeds drawn uniformly from (0, max].
+  sim::Time pause = sim::seconds(3);
+};
+
+/// Random-waypoint trajectory of a single node.
+///
+/// Queries must be issued with non-decreasing time (enforced per node), which
+/// holds in a discrete-event simulation.
+class WaypointNode {
+ public:
+  WaypointNode(const WaypointConfig& cfg, sim::RandomStream rng);
+
+  /// Position at time t (t must not precede the previous query).
+  [[nodiscard]] Vec2 position_at(sim::Time t);
+
+  /// Instantaneous speed of the current leg, m/s (0 while paused).
+  [[nodiscard]] double speed_at(sim::Time t);
+
+ private:
+  void advance_to(sim::Time t);
+  void start_new_leg(sim::Time t);
+
+  WaypointConfig cfg_;
+  sim::RandomStream rng_;
+
+  // Current leg: travels start_ -> dest_ during [leg_start_, leg_end_],
+  // then pauses until pause_end_.
+  Vec2 start_{};
+  Vec2 dest_{};
+  sim::Time leg_start_ = sim::Time::zero();
+  sim::Time leg_end_ = sim::Time::zero();
+  sim::Time pause_end_ = sim::Time::zero();
+  double leg_speed_ = 0.0;
+  sim::Time last_query_ = sim::Time::zero();
+};
+
+/// Positions for a whole network of random-waypoint nodes.
+class MobilityManager {
+ public:
+  MobilityManager(std::size_t num_nodes, const WaypointConfig& cfg,
+                  const sim::RngManager& rng);
+
+  /// Position of node `id` at time t.
+  [[nodiscard]] Vec2 position(std::uint32_t id, sim::Time t);
+
+  /// Distance between two nodes at time t, meters.
+  [[nodiscard]] double node_distance(std::uint32_t a, std::uint32_t b,
+                                     sim::Time t);
+
+  /// Instantaneous speed of node `id` at time t, m/s.
+  [[nodiscard]] double speed(std::uint32_t id, sim::Time t);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<WaypointNode> nodes_;
+};
+
+}  // namespace rica::mobility

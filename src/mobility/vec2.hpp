@@ -1,0 +1,25 @@
+// 2-D vector for positions (meters) on the simulation field.
+#pragma once
+
+#include <cmath>
+
+namespace rica::mobility {
+
+/// A point or displacement in the plane, in meters.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 rhs) const { return {x + rhs.x, y + rhs.y}; }
+  constexpr Vec2 operator-(Vec2 rhs) const { return {x - rhs.x, y - rhs.y}; }
+  constexpr Vec2 operator*(double k) const { return {x * k, y * k}; }
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+
+  constexpr bool operator==(const Vec2&) const = default;
+};
+
+/// Euclidean distance between two points, meters.
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace rica::mobility

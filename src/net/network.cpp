@@ -1,0 +1,28 @@
+#include "net/network.hpp"
+
+namespace rica::net {
+
+Network::Network(const NetworkConfig& cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      mobility_(cfg.num_nodes, cfg.mobility, rng_),
+      channel_(cfg.channel, mobility_, rng_),
+      common_mac_(sim_, channel_, rng_, metrics_, cfg.common_mac) {
+  nodes_.reserve(cfg.num_nodes);
+  for (std::size_t i = 0; i < cfg.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(
+        static_cast<NodeId>(i), sim_, channel_, common_mac_, metrics_,
+        cfg.link, rng_.stream("protocol", i)));
+  }
+  for (auto& node : nodes_) {
+    node->set_peer_delivery([this](NodeId to, DataPacket pkt, NodeId from) {
+      nodes_.at(to)->receive_data(std::move(pkt), from);
+    });
+  }
+}
+
+void Network::start() {
+  for (auto& node : nodes_) node->start();
+}
+
+}  // namespace rica::net

@@ -1,0 +1,64 @@
+// Assembles a complete simulated ad hoc network: simulator, mobility,
+// channel, common-channel MAC, metrics, and one Node per terminal.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "channel/channel_model.hpp"
+#include "mac/common_channel.hpp"
+#include "mac/link_transmitter.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "net/node.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
+
+namespace rica::net {
+
+/// Everything needed to instantiate a network.
+struct NetworkConfig {
+  std::size_t num_nodes = 50;
+  mobility::WaypointConfig mobility{};
+  channel::ChannelConfig channel{};
+  mac::CommonChannelConfig common_mac{};
+  mac::LinkConfig link{};
+  std::uint64_t seed = 1;
+};
+
+/// Owns the full simulation stack.  Protocols are installed per node by the
+/// harness (which knows which protocol family is under test); then start()
+/// arms every node and the simulator can run.
+class Network {
+ public:
+  explicit Network(const NetworkConfig& cfg);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+
+  sim::Simulator& simulator() { return sim_; }
+  mobility::MobilityManager& mobility() { return mobility_; }
+  channel::ChannelModel& channel() { return channel_; }
+  mac::CommonChannelMac& common_mac() { return common_mac_; }
+  stats::MetricsCollector& metrics() { return metrics_; }
+  [[nodiscard]] const sim::RngManager& rng() const { return rng_; }
+  [[nodiscard]] const NetworkConfig& config() const { return cfg_; }
+
+  /// Starts every node's protocol.  Call after installing protocols.
+  void start();
+
+ private:
+  NetworkConfig cfg_;
+  sim::Simulator sim_;
+  sim::RngManager rng_;
+  mobility::MobilityManager mobility_;
+  channel::ChannelModel channel_;
+  stats::MetricsCollector metrics_;
+  mac::CommonChannelMac common_mac_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace rica::net

@@ -1,0 +1,87 @@
+#include "net/node.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rica::net {
+
+Node::Node(NodeId id, sim::Simulator& sim, channel::ChannelModel& channel,
+           mac::CommonChannelMac& common_mac, stats::MetricsCollector& metrics,
+           const mac::LinkConfig& link_cfg, sim::RandomStream rng)
+    : id_(id),
+      sim_(sim),
+      channel_(channel),
+      common_mac_(common_mac),
+      metrics_(metrics),
+      rng_(std::move(rng)),
+      links_(id, sim, channel, metrics, link_cfg) {
+  links_.set_deliver([this](DataPacket pkt, NodeId to) {
+    if (peer_delivery_) peer_delivery_(to, std::move(pkt), id_);
+  });
+  links_.set_on_break([this](NodeId neighbor,
+                             std::vector<DataPacket> stranded) {
+    if (protocol_) protocol_->on_link_break(neighbor, std::move(stranded));
+  });
+  links_.set_on_drop([this](const DataPacket& pkt, stats::DropReason reason) {
+    metrics_.on_dropped(pkt, reason);
+  });
+}
+
+void Node::set_protocol(std::unique_ptr<routing::Protocol> protocol) {
+  protocol_ = std::move(protocol);
+}
+
+void Node::start() {
+  assert(protocol_ && "protocol must be installed before start()");
+  common_mac_.register_node(id_, [this](const ControlPacket& pkt,
+                                        NodeId from) {
+    protocol_->on_control(pkt, from);
+  });
+  protocol_->start();
+}
+
+void Node::originate(DataPacket pkt) {
+  metrics_.on_generated(pkt);
+  protocol_->handle_data(std::move(pkt), id_);
+}
+
+void Node::receive_data(DataPacket pkt, NodeId from) {
+  protocol_->handle_data(std::move(pkt), from);
+}
+
+void Node::send_control(ControlPacket pkt) {
+  common_mac_.send(id_, std::move(pkt));
+}
+
+std::optional<channel::CsiClass> Node::link_csi(NodeId neighbor) {
+  return channel_.csi(id_, neighbor, sim_.now());
+}
+
+std::vector<NodeId> Node::neighbors_in_range() {
+  return channel_.neighbors_of(id_, sim_.now());
+}
+
+void Node::forward_data(DataPacket pkt, NodeId next_hop) {
+  links_.enqueue(std::move(pkt), next_hop);
+}
+
+void Node::deliver_local(const DataPacket& pkt) {
+  assert(pkt.dst == id_ && "deliver_local on a transit packet");
+  metrics_.on_delivered(pkt, sim_.now());
+}
+
+void Node::drop_data(const DataPacket& pkt, stats::DropReason reason) {
+  metrics_.on_dropped(pkt, reason);
+}
+
+std::vector<DataPacket> Node::drain_queue(NodeId neighbor) {
+  return links_.drain(neighbor);
+}
+
+std::size_t Node::buffered_count() const { return links_.buffered(); }
+
+void Node::count(const std::string& name, std::uint64_t by) {
+  metrics_.inc(name, by);
+}
+
+}  // namespace rica::net

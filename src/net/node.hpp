@@ -1,0 +1,75 @@
+// A mobile terminal: glues the routing protocol to the common-channel MAC
+// and the per-link data plane, and implements the ProtocolHost services.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "channel/channel_model.hpp"
+#include "mac/common_channel.hpp"
+#include "mac/link_transmitter.hpp"
+#include "net/packet.hpp"
+#include "routing/protocol.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
+
+namespace rica::net {
+
+/// One terminal of the ad hoc network.
+class Node final : public routing::ProtocolHost {
+ public:
+  /// Hands a successfully received data packet to the peer node.
+  using PeerDeliveryFn = std::function<void(NodeId to, DataPacket, NodeId from)>;
+
+  Node(NodeId id, sim::Simulator& sim, channel::ChannelModel& channel,
+       mac::CommonChannelMac& common_mac, stats::MetricsCollector& metrics,
+       const mac::LinkConfig& link_cfg, sim::RandomStream rng);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Installs the routing protocol (must precede start()).
+  void set_protocol(std::unique_ptr<routing::Protocol> protocol);
+  [[nodiscard]] routing::Protocol& protocol() { return *protocol_; }
+
+  /// Wires delivery of data packets into peer nodes (set by Network).
+  void set_peer_delivery(PeerDeliveryFn fn) { peer_delivery_ = std::move(fn); }
+
+  /// Starts the protocol (registers MAC handler, arms timers).
+  void start();
+
+  /// A locally generated application packet enters the stack.
+  void originate(DataPacket pkt);
+
+  /// A data packet arrived over a link from `from`.
+  void receive_data(DataPacket pkt, NodeId from);
+
+  // -- ProtocolHost ----------------------------------------------------------
+  [[nodiscard]] NodeId id() const override { return id_; }
+  sim::Simulator& simulator() override { return sim_; }
+  sim::RandomStream& protocol_rng() override { return rng_; }
+  void send_control(ControlPacket pkt) override;
+  std::optional<channel::CsiClass> link_csi(NodeId neighbor) override;
+  std::vector<NodeId> neighbors_in_range() override;
+  void forward_data(DataPacket pkt, NodeId next_hop) override;
+  void deliver_local(const DataPacket& pkt) override;
+  void drop_data(const DataPacket& pkt, stats::DropReason reason) override;
+  std::vector<DataPacket> drain_queue(NodeId neighbor) override;
+  [[nodiscard]] std::size_t buffered_count() const override;
+  void count(const std::string& name, std::uint64_t by = 1) override;
+
+ private:
+  NodeId id_;
+  sim::Simulator& sim_;
+  channel::ChannelModel& channel_;
+  mac::CommonChannelMac& common_mac_;
+  stats::MetricsCollector& metrics_;
+  sim::RandomStream rng_;
+  mac::LinkTransmitter links_;
+  std::unique_ptr<routing::Protocol> protocol_;
+  PeerDeliveryFn peer_delivery_;
+};
+
+}  // namespace rica::net

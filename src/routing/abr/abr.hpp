@@ -1,0 +1,130 @@
+// ABR — Associativity-Based Routing (Toh [12], as used in the paper's
+// comparison):
+//   * every terminal beacons periodically; a neighbour's "associativity
+//     ticks" count consecutive beacons heard, so high ticks mean a stable,
+//     long-lived link;
+//   * route discovery floods a BQ (broadcast query) that accumulates the
+//     aggregate associativity of the links crossed plus the relays' queue
+//     load; the destination waits briefly and picks the most stable route
+//     (maximum aggregate ticks, ties broken by lower load then fewer hops)
+//     — the paper notes such routes tend to be longer than shortest paths;
+//   * on a link break, the upstream terminal holds arriving packets and
+//     issues a TTL-bounded localized query (LQ) to re-join the remaining
+//     path; if that fails it backtracks one hop with an RN (route
+//     notification) and the next terminal tries, until the source performs
+//     a fresh BQ.  The queue buildup during LQ is what drives ABR's delay
+//     growth with mobility in Fig. 2;
+//   * channel state is ignored entirely (topological hops only).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/protocol.hpp"
+#include "routing/tables.hpp"
+
+namespace rica::routing {
+
+/// ABR tunables.
+struct AbrConfig {
+  sim::Time beacon_period = sim::seconds(1);
+  sim::Time neighbor_timeout = sim::milliseconds(2500);
+  std::uint32_t tick_cap = 20;       ///< per-link associativity saturation;
+                                     ///< links that survived ~20 beacon
+                                     ///< periods count as fully stable
+  sim::Time dest_wait = sim::milliseconds(40);
+  sim::Time discovery_timeout = sim::milliseconds(300);
+  int max_discovery_attempts = 3;
+  std::int16_t bq_ttl = 16;
+  std::int16_t lq_ttl = 3;
+  sim::Time lq_timeout = sim::milliseconds(150);
+  std::size_t pending_cap = 10;
+  sim::Time pending_residency = sim::seconds(3);
+};
+
+class AbrProtocol final : public Protocol {
+ public:
+  AbrProtocol(ProtocolHost& host, const AbrConfig& cfg = {});
+
+  void start() override;
+  void handle_data(net::DataPacket pkt, net::NodeId from) override;
+  void on_control(const net::ControlPacket& pkt, net::NodeId from) override;
+  void on_link_break(net::NodeId neighbor,
+                     std::vector<net::DataPacket> stranded) override;
+  [[nodiscard]] std::string_view name() const override { return "ABR"; }
+
+  // -- white-box accessors for tests ----------------------------------------
+  /// Current associativity ticks for a neighbour (0 if unknown/expired).
+  [[nodiscard]] std::uint32_t ticks(net::NodeId neighbor) const;
+  [[nodiscard]] std::optional<net::NodeId> downstream(net::FlowKey flow) const;
+
+ private:
+  struct Neighbor {
+    std::uint32_t ticks = 0;
+    sim::Time last_beacon{};
+  };
+  struct Candidate {
+    net::NodeId first_hop = 0;
+    std::uint32_t tick_sum = 0;
+    std::uint32_t load_sum = 0;
+    std::uint16_t topo_hops = 0;
+  };
+  struct Entry {
+    bool valid = false;
+    net::NodeId upstream = 0;
+    net::NodeId downstream = 0;
+    std::uint16_t hops_to_dst = 0;
+    bool repairing = false;
+    std::uint32_t lq_bid = 0;
+    std::vector<Candidate> lq_candidates;  // tick_sum unused; topo = join hops
+  };
+  struct SourceState {
+    bool discovering = false;
+    std::uint32_t bid = 0;
+    int attempts = 0;
+    PendingBuffer pending;
+    explicit SourceState(const AbrConfig& cfg)
+        : pending(cfg.pending_cap, cfg.pending_residency) {}
+  };
+  struct DestState {
+    bool window_open = false;
+    std::uint32_t window_bid = 0;
+    std::vector<Candidate> window_candidates;
+  };
+
+  void send_beacon();
+  [[nodiscard]] std::uint32_t link_ticks(net::NodeId neighbor);
+
+  void begin_discovery(net::FlowKey flow);
+  void send_bq(net::FlowKey flow);
+  void close_dest_window(net::FlowKey flow);
+  void start_local_query(net::FlowKey flow);
+  void finish_local_query(net::FlowKey flow, std::uint32_t bid);
+  void backtrack(net::FlowKey flow, Entry& e);
+  void flush_repair(net::FlowKey flow);
+  void buffer_for_repair(net::DataPacket pkt);
+
+  void on_beacon(net::NodeId from);
+  void on_bq(const net::AbrBqMsg& msg, net::NodeId from);
+  void on_reply(const net::AbrReplyMsg& msg, net::NodeId from);
+  void on_lq(const net::AbrLqMsg& msg, net::NodeId from);
+  void on_lq_reply(const net::AbrLqReplyMsg& msg, net::NodeId from);
+  void on_rn(const net::AbrRnMsg& msg, net::NodeId from);
+
+  [[nodiscard]] sim::Time now() const;
+  SourceState& source_state(net::FlowKey flow);
+
+  AbrConfig cfg_;
+  HistoryTable history_;
+  std::unordered_map<net::NodeId, Neighbor> neighbors_;
+  std::unordered_map<net::FlowKey, Entry> entries_;
+  std::unordered_map<net::FlowKey, SourceState> sources_;
+  std::unordered_map<net::FlowKey, DestState> dests_;
+  std::unordered_map<net::FlowKey, PendingBuffer> repair_pending_;
+  std::unordered_map<std::uint64_t, net::NodeId> bq_upstream_;
+  std::unordered_map<std::uint64_t, net::NodeId> lq_upstream_;
+  std::uint32_t next_bid_ = 1;
+};
+
+}  // namespace rica::routing

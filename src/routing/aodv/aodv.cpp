@@ -1,0 +1,208 @@
+#include "routing/aodv/aodv.hpp"
+
+#include <utility>
+
+namespace rica::routing {
+
+namespace {
+constexpr std::uint8_t kTagRreq = 1;
+
+constexpr std::uint64_t rreq_key(net::NodeId src, std::uint32_t bid) {
+  return (static_cast<std::uint64_t>(src) << 32) | bid;
+}
+}  // namespace
+
+AodvProtocol::AodvProtocol(ProtocolHost& host, const AodvConfig& cfg)
+    : Protocol(host), cfg_(cfg) {}
+
+sim::Time AodvProtocol::now() const {
+  // ProtocolHost::simulator() is non-const; reading the clock is logically
+  // const.
+  return const_cast<AodvProtocol*>(this)->host().simulator().now();
+}
+
+std::optional<net::NodeId> AodvProtocol::next_hop(net::NodeId dst) const {
+  const auto it = routes_.find(dst);
+  if (it == routes_.end() || !it->second.valid) return std::nullopt;
+  if (now() - it->second.last_used > cfg_.route_expiry) return std::nullopt;
+  return it->second.next;
+}
+
+void AodvProtocol::drop_pkt(const net::DataPacket& pkt, stats::DropReason r) {
+  host().drop_data(pkt, r);
+}
+
+void AodvProtocol::handle_data(net::DataPacket pkt, net::NodeId from) {
+  if (pkt.dst == host().id()) {
+    host().deliver_local(pkt);
+    return;
+  }
+  if (from != host().id()) precursor_[pkt.dst] = from;
+  const auto nh = next_hop(pkt.dst);
+  if (nh) {
+    auto& route = routes_.at(pkt.dst);
+    route.last_used = now();
+    host().forward_data(std::move(pkt), *nh);
+    return;
+  }
+  if (from != host().id()) {
+    // Transit node without a route: the entry was invalidated while the
+    // packet was in flight (paper: packets on a broken route are discarded).
+    // Tell the upstream so the source learns and re-discovers.
+    drop_pkt(pkt, stats::DropReason::kNoRoute);
+    host().send_control(net::make_control(
+        from, net::AodvRerrMsg{pkt.src, pkt.dst, host().id()}));
+    return;
+  }
+  const net::NodeId dst = pkt.dst;
+  auto [it, inserted] = discovery_.try_emplace(dst, cfg_);
+  if (!it->second.pending.push(std::move(pkt), host().simulator().now())) {
+    drop_pkt(pkt, stats::DropReason::kBufferOverflow);
+  }
+  if (!it->second.in_progress) begin_discovery(dst);
+}
+
+void AodvProtocol::begin_discovery(net::NodeId dst) {
+  auto& d = discovery_.at(dst);
+  d.in_progress = true;
+  d.attempts = 1;
+  host().count("aodv.discovery");
+  send_rreq(dst);
+}
+
+void AodvProtocol::send_rreq(net::NodeId dst) {
+  auto& d = discovery_.at(dst);
+  const std::uint32_t bid = next_bid_++;
+  d.bid = bid;
+  history_.seen_or_insert(host().id(), bid, kTagRreq);  // ignore echoes
+  host().send_control(net::make_control(
+      net::kBroadcastId, net::AodvRreqMsg{host().id(), dst, bid, 0}));
+
+  host().simulator().after(cfg_.discovery_timeout, [this, dst, bid] {
+    auto it = discovery_.find(dst);
+    if (it == discovery_.end()) return;
+    auto& disc = it->second;
+    if (!disc.in_progress || disc.bid != bid) return;  // answered already
+    disc.pending.purge_expired(host().simulator().now(),
+                               [this](const net::DataPacket& p) {
+                                 drop_pkt(p, stats::DropReason::kExpired);
+                               });
+    if (disc.pending.empty()) {
+      disc.in_progress = false;
+      return;
+    }
+    if (disc.attempts >= cfg_.max_discovery_attempts) {
+      auto fresh = disc.pending.take_fresh(host().simulator().now(), nullptr);
+      for (const auto& p : fresh) drop_pkt(p, stats::DropReason::kNoRoute);
+      disc.in_progress = false;
+      return;
+    }
+    ++disc.attempts;
+    send_rreq(dst);
+  });
+}
+
+void AodvProtocol::on_control(const net::ControlPacket& pkt,
+                              net::NodeId from) {
+  if (const auto* rreq = std::get_if<net::AodvRreqMsg>(&pkt.payload)) {
+    on_rreq(*rreq, from);
+  } else if (const auto* rrep = std::get_if<net::AodvRrepMsg>(&pkt.payload)) {
+    on_rrep(*rrep, from);
+  } else if (const auto* rerr = std::get_if<net::AodvRerrMsg>(&pkt.payload)) {
+    on_rerr(*rerr, from);
+  }
+}
+
+void AodvProtocol::on_rreq(const net::AodvRreqMsg& msg, net::NodeId from) {
+  if (msg.src == host().id()) return;  // our own flood echoed back
+  if (history_.seen_or_insert(msg.src, msg.bid, kTagRreq)) return;
+  reverse_[rreq_key(msg.src, msg.bid)] =
+      ReversePath{from, static_cast<std::uint16_t>(msg.hops + 1)};
+
+  if (msg.dst == host().id()) {
+    // Paper: "the destination responds only the first RREQ and chooses the
+    // path this RREQ has gone through".  Dedup above enforces "first".
+    host().send_control(net::make_control(
+        from, net::AodvRrepMsg{msg.src, msg.dst, msg.bid, 0}));
+    return;
+  }
+  if (msg.hops + 1 >= cfg_.rreq_ttl) return;  // flood scope exhausted
+  net::AodvRreqMsg fwd = msg;
+  fwd.hops = static_cast<std::uint16_t>(msg.hops + 1);
+  const auto jitter = sim::Time{static_cast<std::int64_t>(
+      host().protocol_rng().uniform(
+          0.0, static_cast<double>(cfg_.forward_jitter_max.nanos())))};
+  host().simulator().after(jitter, [this, fwd] {
+    host().send_control(net::make_control(net::kBroadcastId, fwd));
+  });
+}
+
+void AodvProtocol::on_rrep(const net::AodvRrepMsg& msg, net::NodeId from) {
+  // The RREP travels dst -> src; receiving it from `from` makes `from` our
+  // next hop toward the destination.
+  routes_[msg.dst] =
+      Route{from, static_cast<std::uint16_t>(msg.hops + 1), true, now()};
+
+  if (msg.src == host().id()) {
+    flush_pending(msg.dst);
+    return;
+  }
+  const auto it = reverse_.find(rreq_key(msg.src, msg.bid));
+  if (it == reverse_.end()) return;  // reverse path evaporated
+  net::AodvRrepMsg fwd = msg;
+  fwd.hops = static_cast<std::uint16_t>(msg.hops + 1);
+  host().send_control(net::make_control(it->second.upstream, fwd));
+}
+
+void AodvProtocol::on_rerr(const net::AodvRerrMsg& msg, net::NodeId from) {
+  const auto it = routes_.find(msg.dst);
+  // Only meaningful if it arrives from our live downstream for this
+  // destination; stale reports from abandoned paths are ignored.
+  if (it == routes_.end() || !it->second.valid || it->second.next != from) {
+    return;
+  }
+  it->second.valid = false;
+  const auto pre = precursor_.find(msg.dst);
+  if (pre != precursor_.end() && pre->second != host().id()) {
+    host().send_control(net::make_control(pre->second, msg));
+  }
+  // If we are a source with packets still arriving for this destination,
+  // the next handle_data() will kick off a fresh discovery.
+}
+
+void AodvProtocol::flush_pending(net::NodeId dst) {
+  const auto it = discovery_.find(dst);
+  if (it == discovery_.end()) return;
+  auto& d = it->second;
+  d.in_progress = false;
+  const auto nh = next_hop(dst);
+  auto fresh = d.pending.take_fresh(host().simulator().now(),
+                                    [this](const net::DataPacket& p) {
+                                      drop_pkt(p, stats::DropReason::kExpired);
+                                    });
+  for (auto& p : fresh) {
+    if (nh) {
+      host().forward_data(std::move(p), *nh);
+    } else {
+      drop_pkt(p, stats::DropReason::kNoRoute);
+    }
+  }
+}
+
+void AodvProtocol::on_link_break(net::NodeId neighbor,
+                                 std::vector<net::DataPacket> stranded) {
+  host().count("aodv.link_break");
+  // Paper: "packets in the original broken route usually is discarded".
+  for (const auto& p : stranded) drop_pkt(p, stats::DropReason::kLinkBreak);
+  for (auto& [dst, route] : routes_) {
+    if (!route.valid || route.next != neighbor) continue;
+    route.valid = false;
+    const auto pre = precursor_.find(dst);
+    if (pre != precursor_.end() && pre->second != host().id()) {
+      host().send_control(net::make_control(
+          pre->second, net::AodvRerrMsg{0, dst, host().id()}));
+    }
+  }
+}
+
+}  // namespace rica::routing

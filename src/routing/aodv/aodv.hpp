@@ -1,0 +1,90 @@
+// AODV, as the paper uses it for comparison (§I, §III):
+//   * pure on-demand: RREQ flood with per-(src,bid) dedup; each relay
+//     remembers the upstream of the FIRST copy (reverse path);
+//   * the destination answers only the first RREQ copy — "chooses the path
+//     this RREQ has gone through although this route is usually not the
+//     shortest one" — with a unicast RREP along the reverse path;
+//   * topological hop metric; channel state is ignored entirely;
+//   * no hello messages: link breaks surface through the data plane;
+//   * on a break, stranded packets are discarded and a RERR travels to the
+//     source, which re-floods.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "routing/protocol.hpp"
+#include "routing/tables.hpp"
+
+namespace rica::routing {
+
+/// Tunables for the AODV comparator.
+struct AodvConfig {
+  sim::Time discovery_timeout = sim::milliseconds(200);  ///< RREP wait
+  int max_discovery_attempts = 3;      ///< per packet burst before giving up
+  std::size_t pending_cap = 10;        ///< source-side packets awaiting route
+  sim::Time pending_residency = sim::seconds(3);
+  std::int16_t rreq_ttl = 16;          ///< flood scope (network diameter)
+  sim::Time route_expiry = sim::seconds(3);  ///< active-route timeout
+  /// Random broadcast-forwarding jitter (standard in AODV implementations
+  /// to de-synchronize rebroadcasts).  It also means the first RREQ copy
+  /// the destination hears travelled a random tree, not the shortest path —
+  /// the paper: "chooses the path this RREQ has gone through although this
+  /// route is usually not the shortest one".
+  sim::Time forward_jitter_max = sim::milliseconds(5);
+};
+
+class AodvProtocol final : public Protocol {
+ public:
+  AodvProtocol(ProtocolHost& host, const AodvConfig& cfg = {});
+
+  void handle_data(net::DataPacket pkt, net::NodeId from) override;
+  void on_control(const net::ControlPacket& pkt, net::NodeId from) override;
+  void on_link_break(net::NodeId neighbor,
+                     std::vector<net::DataPacket> stranded) override;
+  [[nodiscard]] std::string_view name() const override { return "AODV"; }
+
+  /// Forwarding entry for `dst`, if valid and fresh (exposed for tests).
+  [[nodiscard]] std::optional<net::NodeId> next_hop(net::NodeId dst) const;
+
+ private:
+  struct Route {
+    net::NodeId next = 0;
+    std::uint16_t hops = 0;
+    bool valid = false;
+    sim::Time last_used{};
+  };
+  struct ReversePath {
+    net::NodeId upstream = 0;
+    std::uint16_t hops_from_src = 0;
+  };
+  struct Discovery {
+    bool in_progress = false;
+    std::uint32_t bid = 0;
+    int attempts = 0;
+    PendingBuffer pending;
+    explicit Discovery(const AodvConfig& cfg)
+        : pending(cfg.pending_cap, cfg.pending_residency) {}
+  };
+
+  [[nodiscard]] sim::Time now() const;
+  void begin_discovery(net::NodeId dst);
+  void send_rreq(net::NodeId dst);
+  void on_rreq(const net::AodvRreqMsg& msg, net::NodeId from);
+  void on_rrep(const net::AodvRrepMsg& msg, net::NodeId from);
+  void on_rerr(const net::AodvRerrMsg& msg, net::NodeId from);
+  void flush_pending(net::NodeId dst);
+  void drop_pkt(const net::DataPacket& pkt, stats::DropReason r);
+
+  AodvConfig cfg_;
+  HistoryTable history_;
+  std::unordered_map<net::NodeId, Route> routes_;        // dst -> entry
+  std::unordered_map<std::uint64_t, ReversePath> reverse_;  // (src,bid)
+  std::unordered_map<net::NodeId, Discovery> discovery_; // dst -> state
+  // Upstream of the most recent data packet per destination; RERRs retrace
+  // this path toward the source (a light-weight precursor list).
+  std::unordered_map<net::NodeId, net::NodeId> precursor_;
+  std::uint32_t next_bid_ = 1;
+};
+
+}  // namespace rica::routing

@@ -1,0 +1,468 @@
+#include "routing/bgca/bgca.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rica::routing {
+
+namespace {
+constexpr std::uint8_t kTagRreq = 1;
+constexpr std::uint8_t kTagLq = 2;
+
+constexpr std::uint64_t bid_key(net::NodeId origin, std::uint32_t bid) {
+  return (static_cast<std::uint64_t>(origin) << 32) | bid;
+}
+}  // namespace
+
+BgcaProtocol::BgcaProtocol(ProtocolHost& host, const BgcaConfig& cfg)
+    : Protocol(host), cfg_(cfg) {}
+
+sim::Time BgcaProtocol::now() const {
+  return const_cast<BgcaProtocol*>(this)->host().simulator().now();
+}
+
+sim::Time BgcaProtocol::forward_jitter(channel::CsiClass cls) {
+  const double excess = channel::csi_hop_distance(cls) - 1.0;
+  const double dither = host().protocol_rng().uniform(0.0, 0.5e6);
+  return sim::Time{static_cast<std::int64_t>(
+             excess * static_cast<double>(cfg_.csi_jitter.nanos()) + dither)};
+}
+
+BgcaProtocol::SourceState& BgcaProtocol::source_state(net::FlowKey flow) {
+  auto it = sources_.find(flow);
+  if (it == sources_.end()) it = sources_.emplace(flow, SourceState{cfg_}).first;
+  return it->second;
+}
+
+std::optional<net::NodeId> BgcaProtocol::downstream(net::FlowKey flow) const {
+  const auto it = entries_.find(flow);
+  if (it == entries_.end() || !it->second.valid) return std::nullopt;
+  return it->second.downstream;
+}
+
+void BgcaProtocol::start() {
+  // Desynchronize the monitors across nodes.
+  const auto phase = sim::Time{static_cast<std::int64_t>(
+      host().protocol_rng().uniform(0.0,
+                                    static_cast<double>(cfg_.monitor_period.nanos())))};
+  host().simulator().after(phase, [this] { monitor_links(); });
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+// ---------------------------------------------------------------------------
+
+void BgcaProtocol::handle_data(net::DataPacket pkt, net::NodeId from) {
+  const net::FlowKey flow = pkt.key();
+  if (pkt.dst == host().id()) {
+    host().deliver_local(pkt);
+    return;
+  }
+
+  auto& e = entries_[flow];
+  if (from == host().id()) {  // source
+    if (e.valid || e.repairing) {
+      forward_or_drop(std::move(pkt), e);
+      return;
+    }
+    auto& s = source_state(flow);
+    if (!s.pending.push(std::move(pkt), now())) {
+      host().count("bgca.pending_overflow");
+    }
+    if (!s.discovering) begin_discovery(flow);
+    return;
+  }
+
+  e.upstream = from;
+  forward_or_drop(std::move(pkt), e);
+}
+
+void BgcaProtocol::forward_or_drop(net::DataPacket pkt, Entry& e) {
+  if (e.repairing) {
+    // Hold arriving traffic while the local query runs; the paper's local
+    // repair is exactly what builds queues at the repairing terminal.
+    auto it = repair_pending_.find(pkt.key());
+    if (it == repair_pending_.end()) {
+      it = repair_pending_
+               .emplace(pkt.key(),
+                        PendingBuffer{cfg_.pending_cap, cfg_.pending_residency})
+               .first;
+    }
+    if (it->second.size() >= it->second.capacity()) {
+      host().drop_data(pkt, stats::DropReason::kBufferOverflow);
+      return;
+    }
+    it->second.push(std::move(pkt), now());
+    return;
+  }
+  if (!e.valid) {
+    host().drop_data(pkt, stats::DropReason::kNoRoute);
+    return;
+  }
+  host().forward_data(std::move(pkt), e.downstream);
+}
+
+// ---------------------------------------------------------------------------
+// Discovery (same CSI-hop flood as RICA)
+// ---------------------------------------------------------------------------
+
+void BgcaProtocol::begin_discovery(net::FlowKey flow) {
+  auto& s = source_state(flow);
+  s.discovering = true;
+  s.attempts = 1;
+  host().count("bgca.discovery");
+  send_rreq(flow);
+}
+
+void BgcaProtocol::send_rreq(net::FlowKey flow) {
+  auto& s = source_state(flow);
+  const std::uint32_t bid = next_bid_++;
+  s.bid = bid;
+  history_.seen_or_insert(host().id(), bid, kTagRreq);
+  host().send_control(net::make_control(
+      net::kBroadcastId,
+      net::RreqMsg{net::flow_src(flow), net::flow_dst(flow), bid, 0.0, 0}));
+
+  host().simulator().after(cfg_.discovery_timeout, [this, flow, bid] {
+    auto& st = source_state(flow);
+    if (!st.discovering || st.bid != bid) return;
+    st.pending.purge_expired(now(), [this](const net::DataPacket& p) {
+      host().drop_data(p, stats::DropReason::kExpired);
+    });
+    if (st.pending.empty()) {
+      st.discovering = false;
+      return;
+    }
+    if (st.attempts >= cfg_.max_discovery_attempts) {
+      for (const auto& p : st.pending.take_fresh(now(), nullptr)) {
+        host().drop_data(p, stats::DropReason::kNoRoute);
+      }
+      st.discovering = false;
+      return;
+    }
+    ++st.attempts;
+    send_rreq(flow);
+  });
+}
+
+void BgcaProtocol::on_rreq(const net::RreqMsg& msg, net::NodeId from) {
+  if (msg.src == host().id()) return;
+  const auto cls = host().link_csi(from);
+  if (!cls) return;
+
+  const double csi_hops = msg.csi_hops + channel::csi_hop_distance(*cls);
+  const auto topo = static_cast<std::uint16_t>(msg.topo_hops + 1);
+
+  if (msg.dst == host().id()) {
+    // Every arriving copy is a route candidate (duplicate suppression only
+    // governs relay forwarding), mirroring RICA's discovery.
+    const net::FlowKey flow = net::flow_key(msg.src, msg.dst);
+    auto& d = dests_[flow];
+    if (!d.window_open || d.window_bid != msg.bid) {
+      d.window_open = true;
+      d.window_bid = msg.bid;
+      d.window_candidates.clear();
+      host().simulator().after(cfg_.dest_wait,
+                               [this, flow] { close_dest_window(flow); });
+    }
+    d.window_candidates.push_back(Candidate{from, csi_hops, topo});
+    return;
+  }
+  if (history_.seen_or_insert(msg.src, msg.bid, kTagRreq)) return;
+  rreq_upstream_[bid_key(msg.src, msg.bid)] = from;
+  if (topo >= cfg_.rreq_ttl) return;
+  net::RreqMsg fwd = msg;
+  fwd.csi_hops = csi_hops;
+  fwd.topo_hops = topo;
+  host().simulator().after(forward_jitter(*cls), [this, fwd] {
+    host().send_control(net::make_control(net::kBroadcastId, fwd));
+  });
+}
+
+void BgcaProtocol::close_dest_window(net::FlowKey flow) {
+  auto& d = dests_[flow];
+  if (!d.window_open) return;
+  d.window_open = false;
+  if (d.window_candidates.empty()) return;
+  const auto best = std::min_element(
+      d.window_candidates.begin(), d.window_candidates.end(),
+      [](const Candidate& a, const Candidate& b) {
+        return a.csi_hops < b.csi_hops;
+      });
+  host().send_control(net::make_control(
+      best->first_hop,
+      net::RrepMsg{net::flow_src(flow), net::flow_dst(flow), d.window_bid,
+                   best->csi_hops, 0}));
+  d.window_candidates.clear();
+}
+
+void BgcaProtocol::on_rrep(const net::RrepMsg& msg, net::NodeId from) {
+  const net::FlowKey flow = net::flow_key(msg.src, msg.dst);
+  auto& e = entries_[flow];
+  e.valid = true;
+  e.downstream = from;
+  e.hops_to_dst = static_cast<std::uint16_t>(msg.topo_hops + 1);
+  e.repairing = false;
+
+  if (msg.src == host().id()) {
+    auto& s = source_state(flow);
+    s.discovering = false;
+    flush_pending(flow);
+    return;
+  }
+  const auto up = rreq_upstream_.find(bid_key(msg.src, msg.bid));
+  if (up == rreq_upstream_.end()) return;
+  e.upstream = up->second;
+  net::RrepMsg fwd = msg;
+  fwd.topo_hops = static_cast<std::uint16_t>(msg.topo_hops + 1);
+  host().send_control(net::make_control(up->second, fwd));
+}
+
+void BgcaProtocol::flush_pending(net::FlowKey flow) {
+  auto& e = entries_[flow];
+  if (!e.valid) return;
+  const auto expired = [this](const net::DataPacket& p) {
+    host().drop_data(p, stats::DropReason::kExpired);
+  };
+  if (auto it = sources_.find(flow); it != sources_.end()) {
+    for (auto& p : it->second.pending.take_fresh(now(), expired)) {
+      host().forward_data(std::move(p), e.downstream);
+    }
+  }
+  if (auto it = repair_pending_.find(flow); it != repair_pending_.end()) {
+    for (auto& p : it->second.take_fresh(now(), expired)) {
+      host().forward_data(std::move(p), e.downstream);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The bandwidth guard (the "BG" in BGCA)
+// ---------------------------------------------------------------------------
+
+void BgcaProtocol::monitor_links() {
+  for (auto& [flow, e] : entries_) {
+    if (!e.valid || e.repairing) continue;
+    if (net::flow_dst(flow) == host().id()) continue;
+    if (now() - e.last_lq < cfg_.lq_cooldown) continue;
+    const auto cls = host().link_csi(e.downstream);
+    if (!cls) continue;  // range exit is the data plane's business
+    if (channel::throughput_bps(*cls) < requirement_bps()) {
+      // Only a *persistent* deficiency (deep fade) triggers the repair; a
+      // single sub-period flicker does not (the paper calls BGCA
+      // deliberately "passive").
+      if (++e.strikes >= cfg_.guard_strikes) {
+        e.strikes = 0;
+        host().count("bgca.guard_trigger");
+        start_local_query(flow, /*broken=*/false);
+      }
+    } else {
+      e.strikes = 0;
+    }
+  }
+  host().simulator().after(cfg_.monitor_period, [this] { monitor_links(); });
+}
+
+void BgcaProtocol::start_local_query(net::FlowKey flow, bool broken) {
+  auto& e = entries_[flow];
+  if (e.repairing) return;
+  e.repairing = broken;  // keep using a degraded (but live) link meanwhile
+  e.last_lq = now();
+  const std::uint32_t bid = next_bid_++;
+  e.lq_bid = bid;
+  e.lq_candidates.clear();
+  history_.seen_or_insert(host().id(), bid, kTagLq);
+  host().count("bgca.lq");
+
+  net::BgcaLqMsg msg;
+  msg.origin = host().id();
+  msg.src = net::flow_src(flow);
+  msg.dst = net::flow_dst(flow);
+  msg.bid = bid;
+  msg.ttl = cfg_.lq_ttl;
+  msg.csi_hops = 0.0;
+  msg.topo_hops = 0;
+  msg.origin_hops_to_dst = e.hops_to_dst;
+  host().send_control(net::make_control(net::kBroadcastId, msg));
+
+  host().simulator().after(cfg_.lq_timeout,
+                           [this, flow, bid] { finish_local_query(flow, bid); });
+}
+
+void BgcaProtocol::on_lq(const net::BgcaLqMsg& msg, net::NodeId from) {
+  if (msg.origin == host().id()) return;
+  const auto cls = host().link_csi(from);
+  if (!cls) return;
+  if (history_.seen_or_insert(msg.origin, msg.bid, kTagLq)) return;
+
+  const double csi_hops = msg.csi_hops + channel::csi_hop_distance(*cls);
+  const auto topo = static_cast<std::uint16_t>(msg.topo_hops + 1);
+  lq_upstream_[bid_key(msg.origin, msg.bid)] = from;
+
+  const net::FlowKey flow = net::flow_key(msg.src, msg.dst);
+  const auto it = entries_.find(flow);
+  const bool is_dst = msg.dst == host().id();
+  // Join eligibility: we must be strictly closer to the destination than the
+  // querying terminal, on a live path (prevents splicing a loop).
+  const bool on_path = it != entries_.end() && it->second.valid &&
+                       !it->second.repairing &&
+                       it->second.hops_to_dst < msg.origin_hops_to_dst;
+  if (is_dst || on_path) {
+    net::BgcaLqReplyMsg reply;
+    reply.origin = msg.origin;
+    reply.src = msg.src;
+    reply.dst = msg.dst;
+    reply.bid = msg.bid;
+    reply.csi_hops = csi_hops;
+    reply.join_hops_to_dst = is_dst ? 0 : it->second.hops_to_dst;
+    reply.join = host().id();
+    host().send_control(net::make_control(from, reply));
+    return;
+  }
+  if (msg.ttl <= 1) return;
+  net::BgcaLqMsg fwd = msg;
+  fwd.csi_hops = csi_hops;
+  fwd.topo_hops = topo;
+  fwd.ttl = static_cast<std::int16_t>(msg.ttl - 1);
+  host().simulator().after(forward_jitter(*cls), [this, fwd] {
+    host().send_control(net::make_control(net::kBroadcastId, fwd));
+  });
+}
+
+void BgcaProtocol::on_lq_reply(const net::BgcaLqReplyMsg& msg,
+                               net::NodeId from) {
+  const net::FlowKey flow = net::flow_key(msg.src, msg.dst);
+  if (msg.origin == host().id()) {
+    auto& e = entries_[flow];
+    if (msg.bid != e.lq_bid) return;  // stale reply of an older query
+    e.lq_candidates.push_back(
+        Candidate{from, msg.csi_hops, msg.join_hops_to_dst});
+    return;
+  }
+  // A relay on the reply path becomes part of the spliced partial route.
+  auto& e = entries_[flow];
+  e.valid = true;
+  e.downstream = from;
+  e.hops_to_dst = static_cast<std::uint16_t>(msg.join_hops_to_dst + 1);
+  e.repairing = false;
+  const auto up = lq_upstream_.find(bid_key(msg.origin, msg.bid));
+  if (up == lq_upstream_.end()) return;
+  e.upstream = up->second;
+  net::BgcaLqReplyMsg fwd = msg;
+  fwd.join_hops_to_dst = e.hops_to_dst;
+  host().send_control(net::make_control(up->second, fwd));
+}
+
+void BgcaProtocol::finish_local_query(net::FlowKey flow, std::uint32_t bid) {
+  auto& e = entries_[flow];
+  if (e.lq_bid != bid) return;
+  if (!e.lq_candidates.empty()) {
+    const auto best = std::min_element(
+        e.lq_candidates.begin(), e.lq_candidates.end(),
+        [](const Candidate& a, const Candidate& b) {
+          return a.csi_hops < b.csi_hops;
+        });
+    e.valid = true;
+    e.downstream = best->first_hop;
+    e.hops_to_dst = static_cast<std::uint16_t>(best->topo_hops + 1);
+    e.repairing = false;
+    e.lq_candidates.clear();
+    host().count("bgca.lq_success");
+    flush_pending(flow);
+    return;
+  }
+  e.lq_candidates.clear();
+  if (e.repairing) {
+    // The link is gone and local repair failed: escalate.
+    e.repairing = false;
+    e.valid = false;
+    escalate_to_source(flow, e);
+  }
+  // A guard-triggered (link still alive) query that found nothing simply
+  // keeps the degraded route; the cooldown throttles the next attempt.
+}
+
+void BgcaProtocol::escalate_to_source(net::FlowKey flow, Entry& e) {
+  if (net::flow_src(flow) == host().id()) {
+    auto& s = source_state(flow);
+    if (!s.discovering) begin_discovery(flow);
+    return;
+  }
+  if (e.upstream != host().id()) {
+    host().send_control(net::make_control(
+        e.upstream,
+        net::ReerMsg{net::flow_src(flow), net::flow_dst(flow), host().id()}));
+  }
+  // Whatever was held for repair dies with the failed route.
+  if (auto it = repair_pending_.find(flow); it != repair_pending_.end()) {
+    for (const auto& p : it->second.take_fresh(now(), nullptr)) {
+      host().drop_data(p, stats::DropReason::kLinkBreak);
+    }
+  }
+}
+
+void BgcaProtocol::on_reer(const net::ReerMsg& msg, net::NodeId from) {
+  const net::FlowKey flow = net::flow_key(msg.src, msg.dst);
+  const auto it = entries_.find(flow);
+  if (it == entries_.end() || !it->second.valid ||
+      it->second.downstream != from) {
+    return;  // stale report from an abandoned route
+  }
+  it->second.valid = false;
+  if (msg.src == host().id()) {
+    auto& s = source_state(flow);
+    if (!s.discovering) begin_discovery(flow);
+    return;
+  }
+  if (it->second.upstream != host().id()) {
+    host().send_control(net::make_control(
+        it->second.upstream, net::ReerMsg{msg.src, msg.dst, host().id()}));
+  }
+}
+
+void BgcaProtocol::on_link_break(net::NodeId neighbor,
+                                 std::vector<net::DataPacket> stranded) {
+  host().count("bgca.link_break");
+  for (auto& [flow, e] : entries_) {
+    if (!e.valid || e.downstream != neighbor) continue;
+    e.valid = false;
+    // Local repair first; stranded packets wait in the repair buffer.
+    start_local_query(flow, /*broken=*/true);
+  }
+  for (auto& p : stranded) {
+    auto& e = entries_[p.key()];
+    if (!e.repairing) {
+      host().drop_data(p, stats::DropReason::kLinkBreak);
+      continue;
+    }
+    auto it = repair_pending_.find(p.key());
+    if (it == repair_pending_.end()) {
+      it = repair_pending_
+               .emplace(p.key(), PendingBuffer{cfg_.pending_cap,
+                                               cfg_.pending_residency})
+               .first;
+    }
+    if (it->second.size() >= it->second.capacity()) {
+      host().drop_data(p, stats::DropReason::kBufferOverflow);
+    } else {
+      it->second.push(std::move(p), now());
+    }
+  }
+}
+
+void BgcaProtocol::on_control(const net::ControlPacket& pkt,
+                              net::NodeId from) {
+  if (const auto* rreq = std::get_if<net::RreqMsg>(&pkt.payload)) {
+    on_rreq(*rreq, from);
+  } else if (const auto* rrep = std::get_if<net::RrepMsg>(&pkt.payload)) {
+    on_rrep(*rrep, from);
+  } else if (const auto* lq = std::get_if<net::BgcaLqMsg>(&pkt.payload)) {
+    on_lq(*lq, from);
+  } else if (const auto* rep = std::get_if<net::BgcaLqReplyMsg>(&pkt.payload)) {
+    on_lq_reply(*rep, from);
+  } else if (const auto* reer = std::get_if<net::ReerMsg>(&pkt.payload)) {
+    on_reer(*reer, from);
+  }
+}
+
+}  // namespace rica::routing

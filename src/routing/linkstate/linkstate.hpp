@@ -1,0 +1,83 @@
+// Link-state baseline (paper §III-A):
+//   * at t = 0 every terminal is handed an accurate view of the whole
+//     topology, including link CSI classes (the paper installs exactly this
+//     oracle snapshot — it is deliberately generous to link state);
+//   * each terminal senses its own links periodically; any change of
+//     neighbour set or CSI class triggers a sequence-numbered LSU flooded
+//     through the common channel;
+//   * forwarding runs Dijkstra over the terminal's *current* view with
+//     CSI hop-distance costs (the paper notes Dijkstra's preference for
+//     high-throughput links, Fig. 5(a));
+//   * under mobility, flooding saturates the common channel, LSUs collide
+//     and queue-drop, views diverge, and routing loops form — producing the
+//     paper's delay/delivery collapse and the inflated hop counts of
+//     Fig. 5(b).  Nothing here prevents loops on purpose; only the data
+//     plane's hop cap and buffer residency bound them.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "channel/csi.hpp"
+#include "routing/protocol.hpp"
+
+namespace rica::routing {
+
+/// Link-state tunables.
+struct LinkStateConfig {
+  std::size_t num_nodes = 50;
+  sim::Time sense_period = sim::milliseconds(150);
+  /// Minimum spacing between Dijkstra recomputations (SPF hold-down, as in
+  /// deployed link-state routers).  Between recomputations a terminal
+  /// forwards on its previous tree even though newer LSUs have arrived —
+  /// with per-second CSI churn this is precisely what lets neighbouring
+  /// terminals disagree and routing loops form (§III-B).
+  sim::Time spf_hold = sim::milliseconds(3000);
+};
+
+class LinkStateProtocol final : public Protocol {
+ public:
+  /// One terminal's adjacency: (neighbour, advertised class) pairs.
+  using AdjacencyRow = std::vector<std::pair<net::NodeId, channel::CsiClass>>;
+  /// Whole-network topology snapshot, indexed by terminal id.
+  using Topology = std::vector<AdjacencyRow>;
+
+  LinkStateProtocol(ProtocolHost& host, const LinkStateConfig& cfg = {});
+
+  /// Installs the accurate t=0 view (called by the harness on every node
+  /// with the same snapshot, as the paper prescribes).
+  void install_topology(const Topology& topology);
+
+  void start() override;
+  void handle_data(net::DataPacket pkt, net::NodeId from) override;
+  void on_control(const net::ControlPacket& pkt, net::NodeId from) override;
+  void on_link_break(net::NodeId neighbor,
+                     std::vector<net::DataPacket> stranded) override;
+  [[nodiscard]] std::string_view name() const override { return "LinkState"; }
+
+  // -- white-box accessors for tests ----------------------------------------
+  /// Dijkstra next hop toward `dst` under the current view, if reachable.
+  [[nodiscard]] std::optional<net::NodeId> next_hop(net::NodeId dst);
+  /// This node's current advertised adjacency row.
+  [[nodiscard]] const AdjacencyRow& own_row() const;
+
+ private:
+  void sense_links(bool force_flood);
+  void flood_own_row();
+  void recompute_if_stale();
+  void on_lsu(const net::LsuMsg& msg, net::NodeId from);
+
+  LinkStateConfig cfg_;
+  Topology view_;
+  std::vector<std::uint32_t> seqs_;     ///< highest LSU seq seen per origin
+  std::uint32_t own_seq_ = 0;
+  std::uint64_t view_version_ = 1;
+  std::uint64_t routes_version_ = 0;    ///< version the cache was built at
+  sim::Time last_spf_{};                ///< last Dijkstra run (hold-down)
+  bool spf_ever_ran_ = false;
+  std::vector<net::NodeId> next_hop_;   ///< Dijkstra cache, kInvalid = none
+  static constexpr net::NodeId kNoNextHop = net::kBroadcastId;
+};
+
+}  // namespace rica::routing

@@ -1,0 +1,105 @@
+// The routing-protocol abstraction.
+//
+// A Protocol owns all routing state of one terminal and reacts to three
+// kinds of events: data packets entering the node (originated locally or
+// received from a neighbour), control packets from the common channel, and
+// link-break signals from the data plane.  It acts on the world exclusively
+// through its ProtocolHost — sending control packets, queueing data toward a
+// next hop, querying the local channel state — which keeps every protocol
+// implementation independent of the node/MAC plumbing and makes protocols
+// unit-testable against a mock host.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "channel/csi.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "stats/metrics.hpp"
+
+namespace rica::routing {
+
+/// Services a node offers to its routing protocol.
+class ProtocolHost {
+ public:
+  virtual ~ProtocolHost() = default;
+
+  /// This terminal's identifier.
+  [[nodiscard]] virtual net::NodeId id() const = 0;
+
+  /// The simulation kernel (for now() and timers).
+  virtual sim::Simulator& simulator() = 0;
+
+  /// Per-node random stream for protocol jitter decisions.
+  virtual sim::RandomStream& protocol_rng() = 0;
+
+  /// Queues a control packet on the common channel (CSMA/CA applies).
+  virtual void send_control(net::ControlPacket pkt) = 0;
+
+  /// Measures the CSI class of the link to `neighbor` right now
+  /// (nullopt if out of range).  This is the "measure the CSI of the link
+  /// through which this RREQ comes" primitive of §II-B.
+  virtual std::optional<channel::CsiClass> link_csi(net::NodeId neighbor) = 0;
+
+  /// Nodes currently within transmission range (local PHY knowledge).
+  virtual std::vector<net::NodeId> neighbors_in_range() = 0;
+
+  /// Queues a data packet on the link buffer toward `next_hop`.
+  virtual void forward_data(net::DataPacket pkt, net::NodeId next_hop) = 0;
+
+  /// The packet reached its destination: record delivery.
+  virtual void deliver_local(const net::DataPacket& pkt) = 0;
+
+  /// Discards a data packet, recording the reason.
+  virtual void drop_data(const net::DataPacket& pkt,
+                         stats::DropReason reason) = 0;
+
+  /// Removes and returns packets queued toward `neighbor` that have not yet
+  /// begun transmission (for re-routing or protocol-driven discard).
+  virtual std::vector<net::DataPacket> drain_queue(net::NodeId neighbor) = 0;
+
+  /// Total data packets buffered at this node (ABR's load metric).
+  [[nodiscard]] virtual std::size_t buffered_count() const = 0;
+
+  /// Named diagnostic counter (forwarded to the metrics collector).
+  virtual void count(const std::string& name, std::uint64_t by = 1) = 0;
+};
+
+/// A routing protocol instance bound to one terminal.
+class Protocol {
+ public:
+  explicit Protocol(ProtocolHost& host) : host_(host) {}
+  virtual ~Protocol() = default;
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  /// Called once at simulation start (arm periodic timers here).
+  virtual void start() {}
+
+  /// A data packet entered this node.  `from` equals id() when the packet
+  /// was originated locally by the traffic generator.
+  virtual void handle_data(net::DataPacket pkt, net::NodeId from) = 0;
+
+  /// A control packet arrived from the common channel.
+  virtual void on_control(const net::ControlPacket& pkt, net::NodeId from) = 0;
+
+  /// The data plane declared the link to `neighbor` broken; `stranded` holds
+  /// the packets that were queued on it.
+  virtual void on_link_break(net::NodeId neighbor,
+                             std::vector<net::DataPacket> stranded) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+ protected:
+  ProtocolHost& host() { return host_; }
+  [[nodiscard]] const ProtocolHost& host() const { return host_; }
+
+ private:
+  ProtocolHost& host_;
+};
+
+}  // namespace rica::routing

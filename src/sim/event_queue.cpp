@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rica::sim {
+
+EventId EventQueue::schedule(Time at, Callback cb) {
+  const EventId id = next_seq_++;
+  heap_.push(Entry{at, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return pending_.erase(id) == 1; }
+
+void EventQueue::drop_cancelled_front() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() {
+  drop_cancelled_front();
+  assert(!heap_.empty() && "next_time() on empty EventQueue");
+  return heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_front();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  // priority_queue::top() returns const&; the callback must be moved out, so
+  // const_cast is confined to this one spot.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.at, top.seq, std::move(top.cb)};
+  heap_.pop();
+  pending_.erase(fired.id);
+  return fired;
+}
+
+}  // namespace rica::sim

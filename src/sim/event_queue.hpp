@@ -1,0 +1,77 @@
+// Deterministic discrete-event queue.
+//
+// Events scheduled for the same instant fire in insertion order (FIFO
+// tie-breaking by a monotonically increasing sequence number), which makes
+// simulation runs reproducible for a fixed seed regardless of heap layout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rica::sim {
+
+/// Handle identifying a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+/// Priority queue of timestamped callbacks with stable ordering and O(log n)
+/// schedule/pop.  Cancellation is lazy: cancelled events stay in the heap and
+/// are skipped when they surface.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at`. Returns a handle for cancel().
+  EventId schedule(Time at, Callback cb);
+
+  /// Cancels a previously scheduled event. Cancelling an already-fired or
+  /// unknown event is a no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// True if no pending (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest pending event. Requires !empty().
+  [[nodiscard]] Time next_time();
+
+  /// An event popped from the queue, ready to fire.
+  struct Fired {
+    Time at;
+    EventId id{};
+    Callback cb;
+  };
+
+  /// Pops and returns the earliest pending event. Requires !empty().
+  Fired pop();
+
+  /// Total events ever scheduled (for diagnostics and benchmarks).
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq{};  // doubles as EventId
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_front();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rica::sim

@@ -1,0 +1,98 @@
+#include "stats/metrics.hpp"
+
+#include <cmath>
+
+namespace rica::stats {
+
+void ThroughputSeries::add_bits(sim::Time at, double bits) {
+  const auto idx = static_cast<std::size_t>(at.nanos() / bucket_.nanos());
+  if (bits_.size() <= idx) bits_.resize(idx + 1, 0.0);
+  bits_[idx] += bits;
+}
+
+std::vector<double> ThroughputSeries::kbps() const {
+  std::vector<double> out;
+  out.reserve(bits_.size());
+  const double secs = bucket_.seconds();
+  for (const double b : bits_) out.push_back(b / secs / 1e3);
+  return out;
+}
+
+void MetricsCollector::on_generated(const net::DataPacket& pkt) {
+  ++generated_;
+  ++flows_[pkt.flow].generated;
+}
+
+void MetricsCollector::on_delivered(const net::DataPacket& pkt,
+                                    sim::Time now) {
+  ++delivered_;
+  delay_sum_ms_ += (now - pkt.gen_time).millis();
+  hop_sum_ += pkt.hops;
+  tput_sum_bps_ += pkt.tput_sum_bps;
+  series_.add_bits(now, pkt.size_bytes * 8.0);
+  auto& f = flows_[pkt.flow];
+  ++f.delivered;
+  f.delay_sum_ms += (now - pkt.gen_time).millis();
+  f.last_delivery = now;
+}
+
+void MetricsCollector::on_dropped(const net::DataPacket&, DropReason reason) {
+  ++drops_[static_cast<std::size_t>(reason)];
+}
+
+void MetricsCollector::on_control_tx(std::uint32_t bits) {
+  control_bits_ += bits;
+  ++control_tx_count_;
+}
+
+void MetricsCollector::on_control_collision() { ++collision_count_; }
+
+void MetricsCollector::on_ack_tx(std::uint32_t bits) { ack_bits_ += bits; }
+
+void MetricsCollector::inc(const std::string& name, std::uint64_t by) {
+  counters_[name] += by;
+}
+
+std::uint64_t MetricsCollector::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+MetricsSummary MetricsCollector::finalize(sim::Time sim_duration) const {
+  MetricsSummary s;
+  s.generated = generated_;
+  s.delivered = delivered_;
+  s.delivery_pct =
+      generated_ == 0 ? 0.0 : 100.0 * static_cast<double>(delivered_) /
+                                  static_cast<double>(generated_);
+  s.avg_delay_ms =
+      delivered_ == 0 ? 0.0 : delay_sum_ms_ / static_cast<double>(delivered_);
+  const double secs = sim_duration.seconds();
+  s.overhead_kbps = secs <= 0.0 ? 0.0 : (control_bits_ + ack_bits_) / secs / 1e3;
+  s.avg_link_tput_kbps = hop_sum_ <= 0.0 ? 0.0 : tput_sum_bps_ / hop_sum_ / 1e3;
+  s.avg_hops =
+      delivered_ == 0 ? 0.0 : hop_sum_ / static_cast<double>(delivered_);
+  s.drops = drops_;
+  s.control_transmissions = control_tx_count_;
+  s.control_collisions = collision_count_;
+  s.tput_kbps_series = series_.kbps();
+  s.counters = counters_;
+  return s;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace rica::stats

@@ -1,0 +1,138 @@
+// Run-time metrics collection for the paper's §III evaluation:
+//   * average end-to-end delay (Fig. 2),
+//   * successful delivery percentage (Fig. 3),
+//   * routing overhead in bits/s — control transmissions on the common
+//     channel plus data-plane acknowledgements (Fig. 4),
+//   * average link throughput and hop count of delivered packets (Fig. 5),
+//   * aggregate delivered bits per 4-second bucket (Fig. 6).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace rica::stats {
+
+/// Why a data packet was lost.
+enum class DropReason : std::uint8_t {
+  kBufferOverflow = 0,  ///< FCFS link buffer full (cap 10 in the paper)
+  kExpired = 1,         ///< exceeded the 3 s buffer-residency bound
+  kNoRoute = 2,         ///< no valid route and discovery gave up / entry gone
+  kLinkBreak = 3,       ///< stranded on a broken link
+  kLoopCap = 4,         ///< exceeded the hop cap (routing loop)
+};
+inline constexpr std::size_t kNumDropReasons = 5;
+
+[[nodiscard]] constexpr std::string_view to_string(DropReason r) {
+  constexpr std::array<std::string_view, kNumDropReasons> names = {
+      "buffer_overflow", "expired", "no_route", "link_break", "loop_cap"};
+  return names[static_cast<std::size_t>(r)];
+}
+
+/// Delivered-bits time series in fixed 4 s buckets (Fig. 6's x-axis).
+class ThroughputSeries {
+ public:
+  explicit ThroughputSeries(sim::Time bucket = sim::seconds(4))
+      : bucket_(bucket) {}
+
+  void add_bits(sim::Time at, double bits);
+
+  /// Throughput of each bucket, kbps.
+  [[nodiscard]] std::vector<double> kbps() const;
+
+  [[nodiscard]] sim::Time bucket_width() const { return bucket_; }
+
+ private:
+  sim::Time bucket_;
+  std::vector<double> bits_;
+};
+
+/// Aggregated results of one simulation run.
+struct MetricsSummary {
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  double delivery_pct = 0.0;
+  double avg_delay_ms = 0.0;
+  double overhead_kbps = 0.0;
+  double avg_link_tput_kbps = 0.0;
+  double avg_hops = 0.0;
+  std::array<std::uint64_t, kNumDropReasons> drops{};
+  std::uint64_t control_transmissions = 0;
+  std::uint64_t control_collisions = 0;
+  std::vector<double> tput_kbps_series;
+  std::map<std::string, std::uint64_t> counters;  ///< protocol diagnostics
+};
+
+/// Event sink wired into the node/MAC layers.  One collector per run.
+class MetricsCollector {
+ public:
+  MetricsCollector() = default;
+
+  // -- data plane -----------------------------------------------------------
+  void on_generated(const net::DataPacket& pkt);
+  void on_delivered(const net::DataPacket& pkt, sim::Time now);
+  void on_dropped(const net::DataPacket& pkt, DropReason reason);
+
+  // -- control plane --------------------------------------------------------
+  /// A transmission on the common channel (each rebroadcast counts once).
+  void on_control_tx(std::uint32_t bits);
+  /// A reception lost to a collision (diagnostics only).
+  void on_control_collision();
+  /// A data-plane acknowledgement (counted in routing overhead per §III-A).
+  void on_ack_tx(std::uint32_t bits);
+
+  /// Free-form named counters for protocol diagnostics and tests.
+  void inc(const std::string& name, std::uint64_t by = 1);
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  /// Per-flow tallies (keyed by the traffic generator's flow id).
+  struct FlowStats {
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;
+    double delay_sum_ms = 0.0;
+    sim::Time last_delivery{};
+  };
+  [[nodiscard]] const std::map<std::uint32_t, FlowStats>& flow_stats() const {
+    return flows_;
+  }
+
+  // -- results --------------------------------------------------------------
+  [[nodiscard]] MetricsSummary finalize(sim::Time sim_duration) const;
+
+  [[nodiscard]] std::uint64_t generated() const { return generated_; }
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped(DropReason r) const {
+    return drops_[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  std::uint64_t generated_ = 0;
+  std::uint64_t delivered_ = 0;
+  double delay_sum_ms_ = 0.0;
+  double hop_sum_ = 0.0;
+  double tput_sum_bps_ = 0.0;
+  double control_bits_ = 0.0;
+  double ack_bits_ = 0.0;
+  std::uint64_t control_tx_count_ = 0;
+  std::uint64_t collision_count_ = 0;
+  std::array<std::uint64_t, kNumDropReasons> drops_{};
+  ThroughputSeries series_{};
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::uint32_t, FlowStats> flows_;
+};
+
+/// Mean over a set of per-trial values (used by the multi-trial harness).
+[[nodiscard]] double mean(const std::vector<double>& xs);
+/// Sample standard deviation (0 for fewer than two values).
+[[nodiscard]] double stddev(const std::vector<double>& xs);
+
+}  // namespace rica::stats

@@ -1,0 +1,144 @@
+// Harness units: flag parsing, table rendering, bench scales, and the RICA
+// adaptive-checking extension plumbed through the scenario config.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+
+#include "harness/flags.hpp"
+#include "harness/scenario.hpp"
+#include "harness/table.hpp"
+
+namespace rica::harness {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  const auto f = parse({"--trials", "7", "--sim-time", "250.5"});
+  EXPECT_EQ(f.get("trials", 0), 7);
+  EXPECT_DOUBLE_EQ(f.get("sim-time", 0.0), 250.5);
+}
+
+TEST(Flags, EqualsSeparatedValues) {
+  const auto f = parse({"--seed=99", "--protocol=bgca"});
+  EXPECT_EQ(f.get("seed", std::uint64_t{0}), 99u);
+  EXPECT_EQ(f.get("protocol", std::string{}), "bgca");
+}
+
+TEST(Flags, BareBooleanFlag) {
+  const auto f = parse({"--paper-scale"});
+  EXPECT_TRUE(f.has("paper-scale"));
+  EXPECT_FALSE(f.has("trials"));
+}
+
+TEST(Flags, ListParsing) {
+  const auto f = parse({"--speeds", "0,14.4,72"});
+  const auto v = f.get_list("speeds", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 14.4);
+  EXPECT_DOUBLE_EQ(v[2], 72.0);
+}
+
+TEST(Flags, ListFallback) {
+  const auto f = parse({});
+  const auto v = f.get_list("speeds", {1.0, 2.0});
+  ASSERT_EQ(v.size(), 2u);
+}
+
+TEST(Flags, PositionalArgumentRejected) {
+  EXPECT_THROW(parse({"oops"}), std::invalid_argument);
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const auto f = parse({});
+  EXPECT_EQ(f.get("trials", 5), 5);
+  EXPECT_EQ(f.get("name", std::string{"x"}), "x");
+}
+
+TEST(BenchScale, DefaultsApply) {
+  const auto f = parse({});
+  const auto s = bench_scale(f, 3, 100.0);
+  EXPECT_EQ(s.trials, 3);
+  EXPECT_DOUBLE_EQ(s.sim_s, 100.0);
+  EXPECT_EQ(s.seed, 1u);
+}
+
+TEST(BenchScale, PaperScaleShorthand) {
+  const auto f = parse({"--paper-scale"});
+  const auto s = bench_scale(f, 3, 100.0);
+  EXPECT_EQ(s.trials, 25);
+  EXPECT_DOUBLE_EQ(s.sim_s, 500.0);
+}
+
+TEST(BenchScale, ExplicitOverridesBeatPaperScale) {
+  const auto f = parse({"--paper-scale", "--trials", "2"});
+  const auto s = bench_scale(f, 3, 100.0);
+  EXPECT_EQ(s.trials, 2);
+  EXPECT_DOUBLE_EQ(s.sim_s, 500.0);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"a", "long_header"});
+  t.add_row({"xxxxxx", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const auto out = os.str();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxxx"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(10.0, 0), "10");
+}
+
+TEST(AdaptiveChecks, ReducesIdleOverheadAtZeroMobility) {
+  // With a frozen channel the adaptive destination backs off toward the
+  // 4 s maximum, spending less of the common channel than the fixed 1 s
+  // schedule, without giving up delivery.
+  ScenarioConfig fixed;
+  fixed.protocol = ProtocolKind::kRica;
+  fixed.mean_speed_kmh = 0.0;
+  fixed.sim_s = 40.0;
+  fixed.seed = 3;
+  ScenarioConfig adaptive = fixed;
+  adaptive.rica.adaptive_checks = true;
+
+  const auto rf = run_scenario(fixed);
+  const auto ra = run_scenario(adaptive);
+  EXPECT_LT(ra.overhead_kbps, rf.overhead_kbps);
+  EXPECT_GT(ra.delivery_pct, rf.delivery_pct - 3.0);
+}
+
+TEST(AdaptiveChecks, StillDeliversUnderMobility) {
+  ScenarioConfig cfg;
+  cfg.protocol = ProtocolKind::kRica;
+  cfg.mean_speed_kmh = 54.0;
+  cfg.sim_s = 30.0;
+  cfg.rica.adaptive_checks = true;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.delivery_pct, 70.0);
+}
+
+TEST(RicaConfigPlumbing, CheckPeriodAffectsOverhead) {
+  ScenarioConfig slow;
+  slow.protocol = ProtocolKind::kRica;
+  slow.mean_speed_kmh = 36.0;
+  slow.sim_s = 30.0;
+  slow.rica.check_period = sim::seconds(4);
+  ScenarioConfig fast = slow;
+  fast.rica.check_period = sim::milliseconds(250);
+  const auto rs = run_scenario(slow);
+  const auto rf = run_scenario(fast);
+  EXPECT_GT(rf.overhead_kbps, rs.overhead_kbps);
+}
+
+}  // namespace
+}  // namespace rica::harness

@@ -1,0 +1,306 @@
+// MAC layer: common-channel CSMA/CA (airtime, broadcast delivery, carrier
+// sense, hidden-terminal collisions, queue bound, unicast retransmission)
+// and the per-link CDMA data transmitter (rate by class, ACK accounting,
+// buffer bound, residency expiry, retry-then-break).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mac/common_channel.hpp"
+#include "mac/link_transmitter.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "net/packet.hpp"
+
+namespace rica::mac {
+namespace {
+
+/// A fixed 5-node world: we pin positions by using a tiny field so nodes are
+/// co-located (all in range), or a huge field so they are scattered.
+struct World {
+  explicit World(double field_side, std::size_t n = 5, std::uint64_t seed = 3)
+      : rng(seed),
+        mobility(n, waypoint(field_side), rng),
+        channel(channel::ChannelConfig{}, mobility, rng) {}
+
+  static mobility::WaypointConfig waypoint(double side) {
+    mobility::WaypointConfig cfg;
+    cfg.field = mobility::Field{side, side};
+    cfg.max_speed_mps = 0.0;  // static
+    return cfg;
+  }
+
+  sim::RngManager rng;
+  mobility::MobilityManager mobility;
+  channel::ChannelModel channel;
+  sim::Simulator sim;
+  stats::MetricsCollector metrics;
+};
+
+net::ControlPacket broadcast_pkt() {
+  return net::make_control(net::kBroadcastId, net::AbrBeaconMsg{0});
+}
+
+TEST(CommonChannel, AirtimeMatchesRate) {
+  World w(10.0);
+  CommonChannelMac mac(w.sim, w.channel, w.rng, w.metrics, {});
+  // 250 bytes at 250 kbps = 8 ms.
+  EXPECT_NEAR(mac.airtime(250).seconds(), 0.008, 1e-9);
+  EXPECT_NEAR(mac.airtime(25).seconds(), 0.0008, 1e-9);
+}
+
+TEST(CommonChannel, BroadcastReachesAllNeighbors) {
+  World w(10.0);  // everyone within 250 m
+  CommonChannelMac mac(w.sim, w.channel, w.rng, w.metrics, {});
+  int received = 0;
+  for (net::NodeId id = 0; id < 5; ++id) {
+    mac.register_node(id, [&received](const net::ControlPacket&, net::NodeId) {
+      ++received;
+    });
+  }
+  mac.send(0, broadcast_pkt());
+  w.sim.run_until(sim::milliseconds(100));
+  EXPECT_EQ(received, 4);  // everyone but the sender
+}
+
+TEST(CommonChannel, UnicastReachesOnlyTarget) {
+  World w(10.0);
+  CommonChannelMac mac(w.sim, w.channel, w.rng, w.metrics, {});
+  std::vector<int> got(5, 0);
+  for (net::NodeId id = 0; id < 5; ++id) {
+    mac.register_node(id, [&got, id](const net::ControlPacket&, net::NodeId) {
+      ++got[id];
+    });
+  }
+  mac.send(0, net::make_control(3, net::AbrBeaconMsg{0}));
+  w.sim.run_until(sim::milliseconds(100));
+  EXPECT_EQ(got[3], 1);
+  EXPECT_EQ(got[1] + got[2] + got[4], 0);
+}
+
+TEST(CommonChannel, OutOfRangeHearsNothing) {
+  World w(20000.0);  // scattered over 20 km: nobody in range
+  CommonChannelMac mac(w.sim, w.channel, w.rng, w.metrics, {});
+  int received = 0;
+  for (net::NodeId id = 0; id < 5; ++id) {
+    mac.register_node(id, [&received](const net::ControlPacket&, net::NodeId) {
+      ++received;
+    });
+  }
+  mac.send(0, broadcast_pkt());
+  w.sim.run_until(sim::milliseconds(100));
+  EXPECT_EQ(received, 0);
+}
+
+TEST(CommonChannel, OverheadCountedPerTransmission) {
+  World w(10.0);
+  CommonChannelMac mac(w.sim, w.channel, w.rng, w.metrics, {});
+  for (net::NodeId id = 0; id < 5; ++id) {
+    mac.register_node(id, [](const net::ControlPacket&, net::NodeId) {});
+  }
+  mac.send(0, broadcast_pkt());
+  mac.send(1, broadcast_pkt());
+  w.sim.run_until(sim::milliseconds(100));
+  const auto s = w.metrics.finalize(sim::seconds(1));
+  EXPECT_EQ(s.control_transmissions, 2u);
+}
+
+TEST(CommonChannel, QueueBoundDropsExcess) {
+  World w(10.0);
+  CommonChannelConfig cfg;
+  cfg.queue_cap = 3;
+  CommonChannelMac mac(w.sim, w.channel, w.rng, w.metrics, cfg);
+  for (net::NodeId id = 0; id < 5; ++id) {
+    mac.register_node(id, [](const net::ControlPacket&, net::NodeId) {});
+  }
+  for (int i = 0; i < 10; ++i) mac.send(0, broadcast_pkt());
+  w.sim.run_until(sim::seconds(1));
+  EXPECT_GT(w.metrics.counter("mac.ctrl_queue_drop"), 0u);
+}
+
+TEST(CommonChannel, CarrierSenseSerializesNeighbors) {
+  // Two co-located senders: the second must defer, so both broadcasts are
+  // eventually received collision-free by the third node.
+  World w(10.0);
+  CommonChannelMac mac(w.sim, w.channel, w.rng, w.metrics, {});
+  int received = 0;
+  for (net::NodeId id = 0; id < 5; ++id) {
+    mac.register_node(id, [&received, id](const net::ControlPacket&,
+                                          net::NodeId) {
+      if (id == 2) ++received;
+    });
+  }
+  mac.send(0, broadcast_pkt());
+  mac.send(1, broadcast_pkt());
+  w.sim.run_until(sim::seconds(1));
+  EXPECT_EQ(received, 2);
+}
+
+TEST(CommonChannel, UnicastRetransmitsUntilDelivered) {
+  // Make every node deaf by keeping the target transmitting?  Simpler:
+  // verify a unicast toward an out-of-range target gives up after the
+  // configured attempts (counted as unicast_fail).
+  World w(20000.0);
+  CommonChannelConfig cfg;
+  cfg.unicast_attempts = 3;
+  CommonChannelMac mac(w.sim, w.channel, w.rng, w.metrics, cfg);
+  for (net::NodeId id = 0; id < 5; ++id) {
+    mac.register_node(id, [](const net::ControlPacket&, net::NodeId) {});
+  }
+  mac.send(0, net::make_control(1, net::AbrBeaconMsg{0}));
+  w.sim.run_until(sim::seconds(1));
+  EXPECT_EQ(w.metrics.counter("mac.unicast_fail"), 1u);
+  const auto s = w.metrics.finalize(sim::seconds(1));
+  EXPECT_EQ(s.control_transmissions, 3u);  // all attempts hit the air
+}
+
+// ---------------------------------------------------------------------------
+// LinkTransmitter
+// ---------------------------------------------------------------------------
+
+struct LinkWorld : World {
+  LinkWorld() : World(10.0) {}  // co-located, static, class is whatever the
+                                // frozen draw gives (always in range)
+};
+
+net::DataPacket data_pkt(std::uint32_t seq = 0) {
+  net::DataPacket p;
+  p.src = 0;
+  p.dst = 4;
+  p.seq = seq;
+  p.size_bytes = 512;
+  return p;
+}
+
+TEST(LinkTransmitter, DeliversWithClassRateAndAck) {
+  LinkWorld w;
+  LinkConfig cfg;
+  LinkTransmitter tx(0, w.sim, w.channel, w.metrics, cfg);
+  std::vector<net::DataPacket> delivered;
+  tx.set_deliver([&delivered](net::DataPacket p, net::NodeId to) {
+    EXPECT_EQ(to, 1u);
+    delivered.push_back(std::move(p));
+  });
+  tx.enqueue(data_pkt(), 1);
+  w.sim.run_until(sim::seconds(2));
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].hops, 1);
+  // tput_sum records the class throughput the hop used.
+  const auto cls = w.channel.csi(0, 1, w.sim.now());
+  ASSERT_TRUE(cls.has_value());
+  EXPECT_DOUBLE_EQ(delivered[0].tput_sum_bps, channel::throughput_bps(*cls));
+  const auto s = w.metrics.finalize(sim::seconds(1));
+  EXPECT_GT(s.overhead_kbps, 0.0);  // the data ACK was charged
+}
+
+TEST(LinkTransmitter, ServesFifo) {
+  LinkWorld w;
+  LinkTransmitter tx(0, w.sim, w.channel, w.metrics, {});
+  std::vector<std::uint32_t> order;
+  tx.set_deliver([&order](net::DataPacket p, net::NodeId) {
+    order.push_back(p.seq);
+  });
+  for (std::uint32_t i = 0; i < 5; ++i) tx.enqueue(data_pkt(i), 1);
+  w.sim.run_until(sim::seconds(5));
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(LinkTransmitter, BufferCapDropsOverflow) {
+  LinkWorld w;
+  LinkConfig cfg;
+  cfg.buffer_cap = 10;
+  LinkTransmitter tx(0, w.sim, w.channel, w.metrics, cfg);
+  int drops = 0;
+  tx.set_on_drop([&drops](const net::DataPacket&, stats::DropReason r) {
+    EXPECT_EQ(r, stats::DropReason::kBufferOverflow);
+    ++drops;
+  });
+  for (std::uint32_t i = 0; i < 15; ++i) tx.enqueue(data_pkt(i), 1);
+  EXPECT_EQ(drops, 5);
+  EXPECT_EQ(tx.queue_length(1), 10u);
+}
+
+TEST(LinkTransmitter, HopCapDropsLoopers) {
+  LinkWorld w;
+  LinkConfig cfg;
+  cfg.hop_cap = 4;
+  LinkTransmitter tx(0, w.sim, w.channel, w.metrics, cfg);
+  int drops = 0;
+  tx.set_on_drop([&drops](const net::DataPacket&, stats::DropReason r) {
+    EXPECT_EQ(r, stats::DropReason::kLoopCap);
+    ++drops;
+  });
+  auto p = data_pkt();
+  p.hops = 4;
+  tx.enqueue(std::move(p), 1);
+  EXPECT_EQ(drops, 1);
+}
+
+TEST(LinkTransmitter, ResidencyBoundExpiresStalePackets) {
+  // A 512 B packet on a class-D link takes ~82 ms; queue 10 packets and a
+  // stale one: with a 100 ms residency bound, most of the queue expires.
+  LinkWorld w;
+  LinkConfig cfg;
+  cfg.buffer_residency = sim::milliseconds(100);
+  LinkTransmitter tx(0, w.sim, w.channel, w.metrics, cfg);
+  int expired = 0;
+  int delivered = 0;
+  tx.set_on_drop([&expired](const net::DataPacket&, stats::DropReason r) {
+    if (r == stats::DropReason::kExpired) ++expired;
+  });
+  tx.set_deliver([&delivered](net::DataPacket, net::NodeId) { ++delivered; });
+  for (std::uint32_t i = 0; i < 10; ++i) tx.enqueue(data_pkt(i), 1);
+  w.sim.run_until(sim::seconds(5));
+  EXPECT_GT(expired, 0);
+  EXPECT_GT(delivered, 0);
+  EXPECT_EQ(expired + delivered, 10);
+}
+
+TEST(LinkTransmitter, OutOfRangeRetriesThenBreaks) {
+  World w(20000.0);  // target unreachable
+  LinkConfig cfg;
+  LinkTransmitter tx(0, w.sim, w.channel, w.metrics, cfg);
+  bool broke = false;
+  std::vector<net::DataPacket> stranded;
+  tx.set_on_break([&](net::NodeId neighbor, std::vector<net::DataPacket> s) {
+    EXPECT_EQ(neighbor, 1u);
+    broke = true;
+    stranded = std::move(s);
+  });
+  tx.enqueue(data_pkt(0), 1);
+  tx.enqueue(data_pkt(1), 1);
+  w.sim.run_until(sim::seconds(2));
+  EXPECT_TRUE(broke);
+  EXPECT_EQ(stranded.size(), 2u);
+}
+
+TEST(LinkTransmitter, DrainKeepsInFlightHead) {
+  LinkWorld w;
+  LinkTransmitter tx(0, w.sim, w.channel, w.metrics, {});
+  int delivered = 0;
+  tx.set_deliver([&delivered](net::DataPacket, net::NodeId) { ++delivered; });
+  for (std::uint32_t i = 0; i < 4; ++i) tx.enqueue(data_pkt(i), 1);
+  // The head is on the air immediately; drain must spare it.
+  const auto drained = tx.drain(1);
+  EXPECT_EQ(drained.size(), 3u);
+  w.sim.run_until(sim::seconds(2));
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(LinkTransmitter, DrainUnknownNeighborIsEmpty) {
+  LinkWorld w;
+  LinkTransmitter tx(0, w.sim, w.channel, w.metrics, {});
+  EXPECT_TRUE(tx.drain(3).empty());
+  EXPECT_EQ(tx.buffered(), 0u);
+}
+
+TEST(LinkTransmitter, BufferedCountsAllQueues) {
+  LinkWorld w;
+  LinkTransmitter tx(0, w.sim, w.channel, w.metrics, {});
+  tx.enqueue(data_pkt(0), 1);
+  tx.enqueue(data_pkt(1), 1);
+  tx.enqueue(data_pkt(2), 2);
+  EXPECT_EQ(tx.buffered(), 3u);
+}
+
+}  // namespace
+}  // namespace rica::mac

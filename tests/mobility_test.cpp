@@ -1,0 +1,133 @@
+// Random-waypoint mobility: containment, pause behaviour, speed bounds,
+// determinism, and the static-network special case.
+#include <gtest/gtest.h>
+
+#include "mobility/random_waypoint.hpp"
+#include "sim/random.hpp"
+
+namespace rica::mobility {
+namespace {
+
+WaypointConfig make_config(double max_speed) {
+  WaypointConfig cfg;
+  cfg.field = Field{1000.0, 1000.0};
+  cfg.max_speed_mps = max_speed;
+  cfg.pause = sim::seconds(3);
+  return cfg;
+}
+
+TEST(Field, Contains) {
+  const Field f{100.0, 50.0};
+  EXPECT_TRUE(f.contains({0.0, 0.0}));
+  EXPECT_TRUE(f.contains({100.0, 50.0}));
+  EXPECT_FALSE(f.contains({100.1, 10.0}));
+  EXPECT_FALSE(f.contains({50.0, -0.1}));
+}
+
+TEST(Vec2, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(WaypointNode, StaysInsideField) {
+  sim::RngManager rng(5);
+  WaypointNode node(make_config(20.0), rng.stream("m", 0));
+  for (int t = 0; t <= 600; ++t) {
+    const Vec2 p = node.position_at(sim::seconds(t));
+    EXPECT_TRUE(make_config(20.0).field.contains(p))
+        << "escaped at t=" << t << " (" << p.x << "," << p.y << ")";
+  }
+}
+
+TEST(WaypointNode, StaticWhenMaxSpeedZero) {
+  sim::RngManager rng(6);
+  WaypointNode node(make_config(0.0), rng.stream("m", 0));
+  const Vec2 p0 = node.position_at(sim::seconds(0));
+  const Vec2 p1 = node.position_at(sim::seconds(100));
+  EXPECT_EQ(p0, p1);
+  EXPECT_DOUBLE_EQ(node.speed_at(sim::seconds(200)), 0.0);
+}
+
+TEST(WaypointNode, SpeedNeverExceedsMax) {
+  sim::RngManager rng(7);
+  WaypointNode node(make_config(15.0), rng.stream("m", 3));
+  for (int t = 0; t <= 300; ++t) {
+    EXPECT_LE(node.speed_at(sim::seconds(t)), 15.0);
+    EXPECT_GE(node.speed_at(sim::seconds(t)), 0.0);
+  }
+}
+
+TEST(WaypointNode, MovementBoundedBySpeedTimesTime) {
+  sim::RngManager rng(8);
+  WaypointNode node(make_config(10.0), rng.stream("m", 1));
+  Vec2 prev = node.position_at(sim::seconds(0));
+  for (int t = 1; t <= 200; ++t) {
+    const Vec2 cur = node.position_at(sim::seconds(t));
+    EXPECT_LE(distance(prev, cur), 10.0 + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(WaypointNode, PausesAtWaypoint) {
+  // With max speed high and a 3 s pause, the node must be motionless for
+  // stretches: sample densely and verify zero-speed intervals exist.
+  sim::RngManager rng(9);
+  WaypointNode node(make_config(40.0), rng.stream("m", 2));
+  int paused_samples = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (node.speed_at(sim::milliseconds(i * 100)) == 0.0) ++paused_samples;
+  }
+  EXPECT_GT(paused_samples, 0);
+}
+
+TEST(WaypointNode, DeterministicForSameSeed) {
+  sim::RngManager rng(10);
+  WaypointNode a(make_config(12.0), rng.stream("m", 4));
+  WaypointNode b(make_config(12.0), rng.stream("m", 4));
+  for (int t = 0; t <= 100; ++t) {
+    EXPECT_EQ(a.position_at(sim::seconds(t)), b.position_at(sim::seconds(t)));
+  }
+}
+
+TEST(MobilityManager, IndependentPerNodeTrajectories) {
+  sim::RngManager rng(11);
+  MobilityManager mgr(5, make_config(10.0), rng);
+  const Vec2 p0 = mgr.position(0, sim::seconds(1));
+  const Vec2 p1 = mgr.position(1, sim::seconds(1));
+  EXPECT_NE(p0, p1);  // distinct streams give distinct start points
+  EXPECT_EQ(mgr.size(), 5u);
+}
+
+TEST(MobilityManager, DistanceIsSymmetricAndPositive) {
+  sim::RngManager rng(12);
+  MobilityManager mgr(4, make_config(8.0), rng);
+  const double dab = mgr.node_distance(0, 1, sim::seconds(5));
+  const double dba = mgr.node_distance(1, 0, sim::seconds(5));
+  EXPECT_DOUBLE_EQ(dab, dba);
+  EXPECT_GE(dab, 0.0);
+}
+
+TEST(MobilityManager, MeanSpeedApproachesHalfMax) {
+  // Speeds are U(0, max]; over many legs the time-weighted mean of the
+  // moving phase should land well inside (0.25, 0.75) * max.
+  sim::RngManager rng(13);
+  MobilityManager mgr(20, make_config(20.0), rng);
+  double sum = 0;
+  int count = 0;
+  for (std::uint32_t n = 0; n < 20; ++n) {
+    for (int t = 0; t < 500; t += 5) {
+      const double s = mgr.speed(n, sim::seconds(t));
+      if (s > 0) {
+        sum += s;
+        ++count;
+      }
+    }
+  }
+  ASSERT_GT(count, 0);
+  const double mean_moving = sum / count;
+  EXPECT_GT(mean_moving, 5.0);
+  EXPECT_LT(mean_moving, 15.0);
+}
+
+}  // namespace
+}  // namespace rica::mobility

@@ -1,0 +1,194 @@
+// Parameterized property suites: invariants that must hold for every
+// protocol across the mobility/load grid, and channel-model properties
+// swept over configurations.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "channel/channel_model.hpp"
+#include "harness/scenario.hpp"
+#include "mobility/random_waypoint.hpp"
+
+namespace rica {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol grid invariants
+// ---------------------------------------------------------------------------
+
+using GridParam = std::tuple<harness::ProtocolKind, double, double>;
+
+class ProtocolGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(ProtocolGrid, ConservationAndSanity) {
+  const auto [proto, speed, rate] = GetParam();
+  harness::ScenarioConfig cfg;
+  cfg.protocol = proto;
+  cfg.mean_speed_kmh = speed;
+  cfg.pkts_per_s = rate;
+  cfg.sim_s = 20.0;
+  cfg.seed = 21;
+  const auto r = harness::run_scenario(cfg);
+
+  // Packet conservation: every generated packet is delivered, dropped, or
+  // still in flight at the horizon — never duplicated.
+  std::uint64_t dropped = 0;
+  for (const auto d : r.drops) dropped += d;
+  EXPECT_LE(r.delivered + dropped, r.generated);
+  EXPECT_GT(r.generated, 0u);
+
+  // Metric ranges.
+  EXPECT_GE(r.delivery_pct, 0.0);
+  EXPECT_LE(r.delivery_pct, 100.0);
+  if (r.delivered > 0) {
+    EXPECT_GT(r.avg_delay_ms, 0.0);
+    EXPECT_LT(r.avg_delay_ms, 3200.0);  // residency bound caps queueing
+    EXPECT_GE(r.avg_hops, 1.0);
+    // Per-hop throughput is a convex combination of the class rates.
+    EXPECT_GE(r.avg_link_tput_kbps, 50.0 - 1e-9);
+    EXPECT_LE(r.avg_link_tput_kbps, 250.0 + 1e-9);
+  }
+  EXPECT_GE(r.overhead_kbps, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsSpeedsLoads, ProtocolGrid,
+    ::testing::Combine(
+        ::testing::Values(harness::ProtocolKind::kRica,
+                          harness::ProtocolKind::kBgca,
+                          harness::ProtocolKind::kAbr,
+                          harness::ProtocolKind::kAodv,
+                          harness::ProtocolKind::kLinkState),
+        ::testing::Values(0.0, 36.0, 72.0), ::testing::Values(10.0, 20.0)),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      // Note: no structured bindings here — the unparenthesized commas
+      // would split the surrounding macro's arguments.
+      return std::string(harness::to_string(std::get<0>(info.param))) + "_v" +
+             std::to_string(static_cast<int>(std::get<1>(info.param))) +
+             "_r" +
+             std::to_string(static_cast<int>(std::get<2>(info.param)));
+    });
+
+// ---------------------------------------------------------------------------
+// Determinism across the grid
+// ---------------------------------------------------------------------------
+
+class DeterminismGrid
+    : public ::testing::TestWithParam<harness::ProtocolKind> {};
+
+TEST_P(DeterminismGrid, SameSeedSameResult) {
+  harness::ScenarioConfig cfg;
+  cfg.protocol = GetParam();
+  cfg.mean_speed_kmh = 45.0;
+  cfg.sim_s = 15.0;
+  cfg.seed = 33;
+  const auto a = harness::run_scenario(cfg);
+  const auto b = harness::run_scenario(cfg);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.control_transmissions, b.control_transmissions);
+  EXPECT_DOUBLE_EQ(a.avg_delay_ms, b.avg_delay_ms);
+  EXPECT_DOUBLE_EQ(a.avg_hops, b.avg_hops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, DeterminismGrid,
+    ::testing::Values(harness::ProtocolKind::kRica,
+                      harness::ProtocolKind::kBgca,
+                      harness::ProtocolKind::kAbr,
+                      harness::ProtocolKind::kAodv,
+                      harness::ProtocolKind::kLinkState),
+    [](const ::testing::TestParamInfo<harness::ProtocolKind>& info) {
+      return std::string(harness::to_string(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Channel-model properties over configurations
+// ---------------------------------------------------------------------------
+
+class ChannelSigmaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChannelSigmaSweep, SnrVarianceTracksConfiguredSigma) {
+  const double sigma = GetParam();
+  sim::RngManager rng(55);
+  mobility::WaypointConfig wp;
+  wp.field = mobility::Field{1.0, 1.0};  // co-located pairs: no path loss
+  wp.max_speed_mps = 0.0;
+  mobility::MobilityManager mgr(400, wp, rng);
+  channel::ChannelConfig cfg;
+  cfg.shadow_sigma_db = sigma;
+  cfg.fading_sigma_db = 0.0;
+  channel::ChannelModel ch(cfg, mgr, rng);
+
+  double sum = 0.0;
+  double sq = 0.0;
+  int n = 0;
+  for (std::uint32_t i = 0; i + 1 < 400; i += 2) {
+    const auto s = ch.sample(i, i + 1, sim::Time::zero());
+    ASSERT_TRUE(s.has_value());
+    sum += s->snr_db;
+    sq += s->snr_db * s->snr_db;
+    ++n;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, cfg.snr0_db, 1.5) << "sigma=" << sigma;
+  EXPECT_NEAR(std::sqrt(std::max(var, 0.0)), sigma, 0.15 * sigma + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, ChannelSigmaSweep,
+                         ::testing::Values(2.0, 4.0, 8.0, 12.0));
+
+class ChannelExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChannelExponentSweep, MeanSnrFallsWithConfiguredSlope) {
+  const double exponent = GetParam();
+  sim::RngManager rng(56);
+  mobility::WaypointConfig wp;
+  wp.field = mobility::Field{1000.0, 1000.0};
+  wp.max_speed_mps = 0.0;
+  mobility::MobilityManager mgr(2, wp, rng);
+  channel::ChannelConfig cfg;
+  cfg.path_loss_exponent = exponent;
+  cfg.shadow_sigma_db = 0.0;
+  cfg.fading_sigma_db = 0.0;
+  cfg.range_m = 1e9;  // disable the range gate for this physics check
+  channel::ChannelModel ch(cfg, mgr, rng);
+
+  const double d = mgr.node_distance(0, 1, sim::Time::zero());
+  const auto s = ch.sample(0, 1, sim::Time::zero());
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(s->snr_db, cfg.snr0_db - 10.0 * exponent * std::log10(d), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ChannelExponentSweep,
+                         ::testing::Values(2.0, 2.5, 3.0, 4.0));
+
+// ---------------------------------------------------------------------------
+// Mobility properties over speeds
+// ---------------------------------------------------------------------------
+
+class MobilitySpeedSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MobilitySpeedSweep, NodesStayInFieldAndUnderSpeedLimit) {
+  const double max_speed = GetParam();
+  sim::RngManager rng(57);
+  mobility::WaypointConfig cfg;
+  cfg.field = mobility::Field{1000.0, 1000.0};
+  cfg.max_speed_mps = max_speed;
+  mobility::MobilityManager mgr(10, cfg, rng);
+  for (std::uint32_t n = 0; n < 10; ++n) {
+    mobility::Vec2 prev = mgr.position(n, sim::Time::zero());
+    for (int t = 1; t <= 120; ++t) {
+      const auto p = mgr.position(n, sim::seconds(t));
+      EXPECT_TRUE(cfg.field.contains(p));
+      EXPECT_LE(mobility::distance(prev, p), max_speed + 1e-9);
+      prev = p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, MobilitySpeedSweep,
+                         ::testing::Values(0.0, 5.0, 20.0, 40.0));
+
+}  // namespace
+}  // namespace rica

@@ -1,0 +1,214 @@
+// Unit tests for the discrete-event kernel: time arithmetic, event ordering,
+// FIFO tie-breaking, cancellation, and RNG stream independence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace rica::sim {
+namespace {
+
+TEST(Time, ConversionsRoundTrip) {
+  EXPECT_EQ(seconds(3).nanos(), 3'000'000'000);
+  EXPECT_EQ(milliseconds(40).nanos(), 40'000'000);
+  EXPECT_EQ(microseconds(7).nanos(), 7'000);
+  EXPECT_DOUBLE_EQ(seconds(2).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(milliseconds(1500).seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(seconds(1).millis(), 1000.0);
+}
+
+TEST(Time, FractionalSecondsRoundsToNanos) {
+  EXPECT_EQ(seconds_f(0.5).nanos(), 500'000'000);
+  EXPECT_EQ(seconds_f(1e-9).nanos(), 1);
+  EXPECT_EQ(seconds_f(0.0).nanos(), 0);
+}
+
+TEST(Time, ArithmeticAndComparison) {
+  const Time a = seconds(1);
+  const Time b = milliseconds(500);
+  EXPECT_EQ((a + b).nanos(), 1'500'000'000);
+  EXPECT_EQ((a - b).nanos(), 500'000'000);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a * 3, seconds(3));
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(milliseconds(30), [&] { order.push_back(3); });
+  q.schedule(milliseconds(10), [&] { order.push_back(1); });
+  q.schedule(milliseconds(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreakAtSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(milliseconds(1), [&] { ++fired; });
+  q.schedule(milliseconds(2), [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  const EventId id = q.schedule(milliseconds(1), [] {});
+  q.pop().cb();
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(999'999));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledFront) {
+  EventQueue q;
+  const EventId early = q.schedule(milliseconds(1), [] {});
+  q.schedule(milliseconds(9), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), milliseconds(9));
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<std::int64_t> at_times;
+  sim.after(milliseconds(10), [&] { at_times.push_back(sim.now().nanos()); });
+  sim.after(milliseconds(5), [&] { at_times.push_back(sim.now().nanos()); });
+  sim.run_until(seconds(1));
+  ASSERT_EQ(at_times.size(), 2u);
+  EXPECT_EQ(at_times[0], milliseconds(5).nanos());
+  EXPECT_EQ(at_times[1], milliseconds(10).nanos());
+  EXPECT_EQ(sim.now(), seconds(1));
+}
+
+TEST(Simulator, RunUntilDoesNotExecuteLaterEvents) {
+  Simulator sim;
+  bool late = false;
+  sim.after(seconds(2), [&] { late = true; });
+  sim.run_until(seconds(1));
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(seconds(3));
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int chain = 0;
+  sim.after(milliseconds(1), [&] {
+    ++chain;
+    sim.after(milliseconds(1), [&] {
+      ++chain;
+      sim.after(milliseconds(1), [&] { ++chain; });
+    });
+  });
+  sim.run_until(seconds(1));
+  EXPECT_EQ(chain, 3);
+}
+
+TEST(Simulator, CancelledTimerDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.after(milliseconds(5), [&] { fired = true; });
+  sim.after(milliseconds(1), [&] { sim.cancel(id); });
+  sim.run_until(seconds(1));
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.after(milliseconds(i), [] {});
+  sim.run_until(seconds(1));
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Random, UniformWithinBounds) {
+  RandomStream rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Random, UniformIntCoversRangeInclusive) {
+  RandomStream rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, ExponentialHasRequestedMean) {
+  RandomStream rng(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(0.1);
+  EXPECT_NEAR(sum / kN, 0.1, 0.005);
+}
+
+TEST(Random, StreamsAreDeterministicPerSeed) {
+  RngManager a(123);
+  RngManager b(123);
+  auto s1 = a.stream("traffic", 4);
+  auto s2 = b.stream("traffic", 4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(s1.uniform(), s2.uniform());
+  }
+}
+
+TEST(Random, NamedStreamsAreIndependent) {
+  RngManager mgr(99);
+  auto s1 = mgr.stream("mobility", 0);
+  auto s2 = mgr.stream("mobility", 1);
+  auto s3 = mgr.stream("channel", 0);
+  // Different streams must not produce identical sequences.
+  int same12 = 0;
+  int same13 = 0;
+  for (int i = 0; i < 50; ++i) {
+    const double a = s1.uniform();
+    const double b = s2.uniform();
+    const double c = s3.uniform();
+    same12 += a == b;
+    same13 += a == c;
+  }
+  EXPECT_LT(same12, 5);
+  EXPECT_LT(same13, 5);
+}
+
+TEST(Random, SplitMixAvalanche) {
+  // Single-bit input changes must flip roughly half the output bits.
+  const std::uint64_t h1 = splitmix64(0x1234);
+  const std::uint64_t h2 = splitmix64(0x1235);
+  const int flipped = __builtin_popcountll(h1 ^ h2);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+}  // namespace
+}  // namespace rica::sim
