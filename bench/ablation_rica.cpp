@@ -10,6 +10,7 @@
 //     long-lived state.
 //
 // Flags: --trials N --sim-time S --mean-speed KMH --rate PKTS --seed K
+//        --preset paper|dense-urban|sparse-rural|large-scale
 #include <exception>
 #include <iostream>
 
@@ -23,7 +24,8 @@ using namespace rica;
 
 harness::ScenarioResult run(const harness::Flags& flags,
                             const core::RicaConfig& rica_cfg) {
-  harness::ScenarioConfig cfg;
+  harness::ScenarioConfig cfg =
+      harness::preset_config(flags.get("preset", std::string("paper")));
   cfg.protocol = harness::ProtocolKind::kRica;
   cfg.mean_speed_kmh = flags.get("mean-speed", 54.0);
   cfg.pkts_per_s = flags.get("rate", 10.0);

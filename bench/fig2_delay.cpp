@@ -2,6 +2,8 @@
 // 10 pkt/s (a) and 20 pkt/s (b), all five protocols.
 //
 // Flags: --trials N --sim-time S --seed K --speeds 0,14.4,...  --paper-scale
+//        --threads N (parallel sweep workers, 0 = one per core)
+//        --preset paper|dense-urban|sparse-rural|large-scale
 #include <exception>
 #include <iostream>
 

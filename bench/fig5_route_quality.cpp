@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
     Table table({"protocol", "avg_link_throughput_kbps", "avg_hops"});
     for (const auto proto : kAllProtocols) {
-      ScenarioConfig cfg;
+      ScenarioConfig cfg = preset_config(scale.preset);
       cfg.protocol = proto;
       cfg.mean_speed_kmh = speed;
       cfg.pkts_per_s = load;

@@ -17,7 +17,7 @@ void run_panel(const rica::harness::BenchScale& scale, double load,
   std::vector<std::string> header{"time_s"};
   std::vector<std::vector<double>> series;
   for (const auto proto : kAllProtocols) {
-    ScenarioConfig cfg;
+    ScenarioConfig cfg = preset_config(scale.preset);
     cfg.protocol = proto;
     cfg.mean_speed_kmh = speed;
     cfg.pkts_per_s = load;

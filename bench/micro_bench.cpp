@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "channel/channel_model.hpp"
+#include "harness/flags.hpp"
 #include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
@@ -14,6 +16,18 @@
 namespace {
 
 using namespace rica;
+
+/// Field side for a population, taken from the scenario preset with that
+/// population (paper/dense-urban/large-scale) so bench density tracks any
+/// preset retuning.
+double field_for(std::int64_t num_nodes) {
+  for (const auto& preset : harness::scenario_presets()) {
+    if (preset.num_nodes == static_cast<std::size_t>(num_nodes)) {
+      return preset.field_m;
+    }
+  }
+  return 1000.0;
+}
 
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   sim::EventQueue q;
@@ -96,6 +110,41 @@ void BM_NeighborScan(benchmark::State& state) {
 }
 BENCHMARK(BM_NeighborScan);
 
+// Neighbor query scaling: the spatial grid index vs the brute-force O(N)
+// scan, at 50/200/500 nodes (paper / dense-urban / large-scale densities).
+// The scale-out acceptance bar is >=5x at 500 nodes (BENCH_scale.json).
+void neighbor_query_bench(benchmark::State& state, bool use_index) {
+  const std::int64_t n = state.range(0);
+  sim::RngManager rng(13);
+  mobility::WaypointConfig wcfg;
+  wcfg.field = mobility::Field{field_for(n), field_for(n)};
+  wcfg.max_speed_mps = 10.0;
+  mobility::MobilityManager mgr(static_cast<std::size_t>(n), wcfg, rng);
+  channel::ChannelConfig ccfg;
+  ccfg.use_neighbor_index = use_index;
+  channel::ChannelModel channel(ccfg, mgr, rng);
+  std::int64_t t = 0;
+  std::uint32_t node = 0;
+  for (auto _ : state) {
+    t += 1'000'000;  // 1 ms forward: amortizes index rebuilds as a run does
+    node = (node + 1) % static_cast<std::uint32_t>(n);
+    benchmark::DoNotOptimize(
+        use_index ? channel.neighbors_of(node, sim::Time{t})
+                  : channel.neighbors_of_bruteforce(node, sim::Time{t}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_NeighborQueryGrid(benchmark::State& state) {
+  neighbor_query_bench(state, /*use_index=*/true);
+}
+BENCHMARK(BM_NeighborQueryGrid)->Arg(50)->Arg(200)->Arg(500);
+
+void BM_NeighborQueryBrute(benchmark::State& state) {
+  neighbor_query_bench(state, /*use_index=*/false);
+}
+BENCHMARK(BM_NeighborQueryBrute)->Arg(50)->Arg(200)->Arg(500);
+
 void BM_FullStackScenario(benchmark::State& state) {
   // One second of simulated network per iteration, full 50-node stack.
   const auto proto = static_cast<harness::ProtocolKind>(state.range(0));
@@ -111,6 +160,32 @@ void BM_FullStackScenario(benchmark::State& state) {
 BENCHMARK(BM_FullStackScenario)
     ->DenseRange(0, 4)
     ->Unit(benchmark::kMillisecond);
+
+// Sweep throughput: the 5-protocol grid slice at two speeds, on `range(0)`
+// worker threads.  Measures the parallel harness's wall-clock scaling, so
+// real time (not CPU time) is the meaningful axis.
+void BM_SweepThroughput(benchmark::State& state) {
+  harness::BenchScale scale{};
+  scale.trials = 1;
+  scale.sim_s = 1.0;
+  scale.seed = 1;
+  scale.threads = static_cast<int>(state.range(0));
+  scale.verbose = false;
+  const std::vector<double> speeds{0.0, 36.0};
+  const std::vector<double> loads{10.0};
+  for (auto _ : state) {
+    const auto grid = harness::run_speed_sweep(speeds, loads, scale);
+    benchmark::DoNotOptimize(grid.size());
+  }
+  state.SetItemsProcessed(state.iterations() * speeds.size() * loads.size() *
+                          harness::kAllProtocols.size());
+}
+BENCHMARK(BM_SweepThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -14,10 +14,21 @@ constexpr std::uint64_t pair_key(std::uint32_t lo, std::uint32_t hi) {
 ChannelModel::ChannelModel(const ChannelConfig& cfg,
                            mobility::MobilityManager& mobility,
                            const sim::RngManager& rng)
-    : cfg_(cfg), mobility_(mobility), rng_(rng) {}
+    : cfg_(cfg),
+      mobility_(mobility),
+      rng_(rng),
+      index_(mobility,
+             NeighborIndexConfig{cfg.range_m,
+                                 sim::seconds_f(cfg.index_epoch_s)}) {}
 
 bool ChannelModel::in_range(std::uint32_t a, std::uint32_t b, sim::Time t) {
   if (a == b) return false;
+  if (cfg_.use_neighbor_index) {
+    index_.ensure_fresh(t);
+    // Snapshot prefilter: provably-distant pairs skip the exact mobility
+    // evaluation entirely.
+    if (!index_.possibly_in_range(a, b)) return false;
+  }
   return mobility_.node_distance(a, b, t) <= cfg_.range_m;
 }
 
@@ -68,6 +79,10 @@ std::optional<ChannelSample> ChannelModel::sample(std::uint32_t a,
                                                   std::uint32_t b,
                                                   sim::Time t) {
   if (a == b) return std::nullopt;
+  if (cfg_.use_neighbor_index) {
+    index_.ensure_fresh(t);
+    if (!index_.possibly_in_range(a, b)) return std::nullopt;
+  }
   const double dist = mobility_.node_distance(a, b, t);
   if (dist > cfg_.range_m) return std::nullopt;
 
@@ -95,10 +110,34 @@ std::optional<CsiClass> ChannelModel::csi(std::uint32_t a, std::uint32_t b,
 
 std::vector<std::uint32_t> ChannelModel::neighbors_of(std::uint32_t node,
                                                       sim::Time t) {
+  if (!cfg_.use_neighbor_index) return neighbors_of_bruteforce(node, t);
+  index_.ensure_fresh(t);
+  const auto pos = mobility_.position(node, t);
+  candidates_.clear();
+  index_.candidates_near(pos, candidates_);
+  std::vector<std::uint32_t> out;
+  out.reserve(candidates_.size());
+  for (const auto other : candidates_) {
+    if (other == node) continue;
+    if (mobility::distance(pos, mobility_.position(other, t)) <= cfg_.range_m) {
+      out.push_back(other);
+    }
+  }
+  // Grid cells are visited row-major, so restore the ascending-id order the
+  // brute-force scan produces; downstream event ordering depends on it.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> ChannelModel::neighbors_of_bruteforce(
+    std::uint32_t node, sim::Time t) {
   std::vector<std::uint32_t> out;
   const auto n = static_cast<std::uint32_t>(mobility_.size());
   for (std::uint32_t other = 0; other < n; ++other) {
-    if (other != node && in_range(node, other, t)) out.push_back(other);
+    if (other != node &&
+        mobility_.node_distance(node, other, t) <= cfg_.range_m) {
+      out.push_back(other);
+    }
   }
   return out;
 }

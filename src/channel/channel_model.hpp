@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "channel/csi.hpp"
+#include "channel/neighbor_index.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -50,6 +51,13 @@ struct ChannelConfig {
   double class_a_db = 18.0;        ///< SNR >= this -> class A
   double class_b_db = 12.0;        ///< SNR >= this -> class B
   double class_c_db = 6.0;         ///< SNR >= this -> class C (else D)
+  /// Route range queries through the spatial NeighborIndex (bit-identical to
+  /// the brute-force scan; see DESIGN.md).  Off = always scan all N nodes.
+  bool use_neighbor_index = true;
+  /// How often the neighbor index re-snapshots mobility, seconds.  Larger
+  /// epochs rebuild less often but widen the search slack by
+  /// max_speed * epoch meters.
+  double index_epoch_s = 0.25;
 };
 
 /// A sampled link state.
@@ -78,15 +86,25 @@ class ChannelModel {
   /// Convenience: the CSI class, or nullopt if out of range.
   std::optional<CsiClass> csi(std::uint32_t a, std::uint32_t b, sim::Time t);
 
-  /// All nodes within range of `node` at time t (O(N) scan; N is small).
+  /// All nodes within range of `node` at time t, ascending by id.  Served
+  /// from the spatial grid index (amortized O(degree)) unless
+  /// `use_neighbor_index` is off.
   [[nodiscard]] std::vector<std::uint32_t> neighbors_of(std::uint32_t node,
                                                         sim::Time t);
+
+  /// The original O(N) scan, kept as the reference implementation for the
+  /// index equivalence tests and the micro-benchmarks.
+  [[nodiscard]] std::vector<std::uint32_t> neighbors_of_bruteforce(
+      std::uint32_t node, sim::Time t);
 
   [[nodiscard]] const ChannelConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t num_nodes() const { return mobility_.size(); }
 
   /// Number of distinct pair processes instantiated (diagnostics).
   [[nodiscard]] std::size_t live_pairs() const { return pairs_.size(); }
+
+  /// Spatial-index diagnostics (rebuild cadence, slack).
+  [[nodiscard]] const NeighborIndex& neighbor_index() const { return index_; }
 
  private:
   /// Correlated Gaussian (dB-domain) disturbances of one node pair.
@@ -107,6 +125,8 @@ class ChannelModel {
   ChannelConfig cfg_;
   mobility::MobilityManager& mobility_;
   sim::RngManager rng_;
+  NeighborIndex index_;
+  std::vector<std::uint32_t> candidates_;  ///< scratch for grid queries
   std::unordered_map<std::uint64_t, PairProcess> pairs_;
 };
 

@@ -1,0 +1,118 @@
+#include "channel/neighbor_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rica::channel {
+
+NeighborIndex::NeighborIndex(mobility::MobilityManager& mobility,
+                             const NeighborIndexConfig& cfg)
+    : mobility_(mobility),
+      cfg_(cfg),
+      cell_m_(std::max(cfg.range_m, 1.0)),
+      slack_m_(mobility.max_speed_mps() *
+               std::max(0.0, cfg.rebuild_epoch.seconds())) {}
+
+int NeighborIndex::cell_x(double x) const {
+  const int c = static_cast<int>(std::floor((x - min_x_) / cell_m_));
+  return std::clamp(c, 0, cols_ - 1);
+}
+
+int NeighborIndex::cell_y(double y) const {
+  const int c = static_cast<int>(std::floor((y - min_y_) / cell_m_));
+  return std::clamp(c, 0, rows_ - 1);
+}
+
+void NeighborIndex::ensure_fresh(sim::Time t) {
+  if (built_ && t - snap_time_ <= cfg_.rebuild_epoch) return;
+  rebuild(t);
+}
+
+void NeighborIndex::rebuild(sim::Time t) {
+  mobility_.snapshot(t, positions_);
+  snap_time_ = t;
+  built_ = true;
+  ++rebuilds_;
+
+  const auto n = static_cast<std::uint32_t>(positions_.size());
+  if (n == 0) {
+    min_x_ = min_y_ = 0.0;
+    cols_ = rows_ = 1;
+    cell_start_.assign(2, 0);
+    cell_ids_.clear();
+    return;
+  }
+
+  // Grid over the snapshot's bounding box: the field is not known here, and
+  // bounding the occupied area keeps sparse-rural layouts dense in cells.
+  double max_x = positions_[0].x, max_y = positions_[0].y;
+  min_x_ = positions_[0].x;
+  min_y_ = positions_[0].y;
+  for (const auto p : positions_) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  cols_ = static_cast<int>(std::floor((max_x - min_x_) / cell_m_)) + 1;
+  rows_ = static_cast<int>(std::floor((max_y - min_y_) / cell_m_)) + 1;
+
+  // Counting sort into CSR buckets; node ids stay ascending within a cell,
+  // which keeps downstream neighbor lists deterministic.
+  const std::size_t num_cells =
+      static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  cell_start_.assign(num_cells + 1, 0);
+  for (const auto p : positions_) {
+    const std::size_t cell =
+        static_cast<std::size_t>(cell_y(p.y)) * cols_ + cell_x(p.x);
+    ++cell_start_[cell + 1];
+  }
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    cell_start_[c + 1] += cell_start_[c];
+  }
+  cell_ids_.resize(n);
+  std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                    cell_start_.end() - 1);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    const auto p = positions_[id];
+    const std::size_t cell =
+        static_cast<std::size_t>(cell_y(p.y)) * cols_ + cell_x(p.x);
+    cell_ids_[cursor[cell]++] = id;
+  }
+}
+
+void NeighborIndex::candidates_near(mobility::Vec2 center,
+                                    std::vector<std::uint32_t>& out) const {
+  if (cell_ids_.empty()) return;
+  const double reach = cfg_.range_m + slack_m_;
+  const double reach_sq = reach * reach;
+  const int x0 = cell_x(center.x - reach);
+  const int x1 = cell_x(center.x + reach);
+  const int y0 = cell_y(center.y - reach);
+  const int y1 = cell_y(center.y + reach);
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) {
+      const std::size_t cell =
+          static_cast<std::size_t>(cy) * cols_ + static_cast<std::size_t>(cx);
+      for (std::uint32_t i = cell_start_[cell]; i < cell_start_[cell + 1];
+           ++i) {
+        // Reject cell-corner nodes on the snapshot distance before the
+        // caller pays a (lazy, leg-advancing) mobility evaluation.  A node
+        // within range_m now is within reach of its snapshot position, so
+        // this never drops a true neighbor.
+        const auto id = cell_ids_[i];
+        const double dx = positions_[id].x - center.x;
+        const double dy = positions_[id].y - center.y;
+        if (dx * dx + dy * dy <= reach_sq) out.push_back(id);
+      }
+    }
+  }
+}
+
+bool NeighborIndex::possibly_in_range(std::uint32_t a, std::uint32_t b) const {
+  // Each endpoint can have drifted up to slack_m_ since the snapshot.
+  return mobility::distance(positions_[a], positions_[b]) <=
+         cfg_.range_m + 2.0 * slack_m_;
+}
+
+}  // namespace rica::channel

@@ -1,0 +1,98 @@
+// Spatial neighbor index: a uniform grid over a periodic mobility snapshot.
+//
+// The brute-force range query costs O(N) mobility evaluations per call and is
+// on the hot path of every CSMA broadcast, so at 200-500 nodes it dominates
+// the simulation.  This index rebuilds a bucketed grid (cell size = the radio
+// range) from a MobilityManager::snapshot at most once per `rebuild_epoch`,
+// then answers "who could be within range of this point?" from the 3x3 cell
+// neighborhood around the query.
+//
+// The index is a *conservative prefilter*, never an approximation: nodes can
+// drift up to max_speed * rebuild_epoch meters between rebuilds, so queries
+// widen the search radius by exactly that slack and the caller re-checks the
+// exact distance at query time.  Results are therefore bit-identical to the
+// brute-force scan (see the equivalence property test in tests/scale_test.cpp
+// and the staleness-slack derivation in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/random_waypoint.hpp"
+#include "sim/time.hpp"
+
+namespace rica::channel {
+
+/// Tunables of the spatial grid.
+struct NeighborIndexConfig {
+  double range_m = 250.0;  ///< query radius; also the grid cell size
+  sim::Time rebuild_epoch = sim::milliseconds(250);
+};
+
+/// Uniform-grid range-query accelerator over mobility snapshots.
+/// Thread-compatible; not thread-safe (one index per single-threaded run).
+class NeighborIndex {
+ public:
+  NeighborIndex(mobility::MobilityManager& mobility,
+                const NeighborIndexConfig& cfg);
+
+  /// Rebuilds the snapshot + grid when the current one is older than the
+  /// rebuild epoch (or absent).  Must be called with non-decreasing t, which
+  /// holds in a discrete-event simulation.
+  void ensure_fresh(sim::Time t);
+
+  /// Appends every node whose *snapshot* position lies within
+  /// range_m + slack of `center` (cells overlapping that disc are scanned,
+  /// then corner nodes are rejected on the cheap snapshot distance).  Any
+  /// node truly within range_m of `center` now is guaranteed present; the
+  /// query node itself may be included.  Callers finish with the exact
+  /// distance re-check at query time.  Requires ensure_fresh() first.
+  void candidates_near(mobility::Vec2 center,
+                       std::vector<std::uint32_t>& out) const;
+
+  /// False only when a and b are provably out of range at every instant the
+  /// current snapshot covers (snapshot distance > range + 2*slack).  A true
+  /// result means "possibly in range" and needs the exact check.
+  [[nodiscard]] bool possibly_in_range(std::uint32_t a, std::uint32_t b) const;
+
+  /// Max distance a node can have drifted from its snapshot position, m.
+  [[nodiscard]] double slack_m() const { return slack_m_; }
+
+  /// Position of `id` in the current snapshot (requires ensure_fresh()).
+  [[nodiscard]] mobility::Vec2 snapshot_position(std::uint32_t id) const {
+    return positions_[id];
+  }
+
+  [[nodiscard]] sim::Time snapshot_time() const { return snap_time_; }
+
+  /// Number of grid rebuilds so far (diagnostics / tests).
+  [[nodiscard]] std::size_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  void rebuild(sim::Time t);
+  [[nodiscard]] int cell_x(double x) const;
+  [[nodiscard]] int cell_y(double y) const;
+
+  mobility::MobilityManager& mobility_;
+  NeighborIndexConfig cfg_;
+  double cell_m_;
+  double slack_m_;
+
+  // Snapshot state.
+  std::vector<mobility::Vec2> positions_;  ///< by node id, at snap_time_
+  sim::Time snap_time_ = sim::Time::zero();
+  bool built_ = false;
+  std::size_t rebuilds_ = 0;
+
+  // Grid over the snapshot's bounding box, CSR layout: ids of the nodes in
+  // cell (cx, cy) are cell_ids_[cell_start_[cy*cols_+cx] ..
+  // cell_start_[cy*cols_+cx+1]), sorted ascending within a cell.
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  int cols_ = 1;
+  int rows_ = 1;
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> cell_ids_;
+};
+
+}  // namespace rica::channel

@@ -77,6 +77,8 @@ BenchScale bench_scale(const Flags& flags, int def_trials, double def_sim_s) {
   scale.trials = flags.get("trials", scale.trials);
   scale.sim_s = flags.get("sim-time", scale.sim_s);
   scale.seed = flags.get("seed", static_cast<std::uint64_t>(1));
+  scale.threads = flags.get("threads", 0);
+  scale.preset = flags.get("preset", scale.preset);
   return scale;
 }
 

@@ -43,10 +43,16 @@ class Flags {
 ///   --sim-time S      seconds of simulated time (default `def_sim_s`)
 ///   --seed S          base seed
 ///   --paper-scale     shorthand for the paper's 25 trials x 500 s
+///   --threads N       worker threads for the sweep grid (0 = one per core)
+///   --preset NAME     scenario preset: paper, dense-urban, sparse-rural,
+///                     large-scale (see scenario_presets())
 struct BenchScale {
   int trials;
   double sim_s;
   std::uint64_t seed;
+  int threads = 0;            ///< 0 = hardware concurrency
+  std::string preset = "paper";
+  bool verbose = true;        ///< per-cell progress notes on stderr
 };
 [[nodiscard]] BenchScale bench_scale(const Flags& flags, int def_trials,
                                      double def_sim_s);

@@ -1,6 +1,7 @@
 #include "harness/scenario.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cctype>
 #include <memory>
 #include <stdexcept>
@@ -11,6 +12,7 @@
 #include "routing/aodv/aodv.hpp"
 #include "routing/bgca/bgca.hpp"
 #include "routing/linkstate/linkstate.hpp"
+#include "sim/random.hpp"
 #include "traffic/poisson.hpp"
 
 namespace rica::harness {
@@ -43,6 +45,41 @@ ProtocolKind protocol_from_string(std::string_view name) {
     return ProtocolKind::kLinkState;
   }
   throw std::invalid_argument("unknown protocol: " + std::string(name));
+}
+
+const std::vector<ScenarioPreset>& scenario_presets() {
+  // Areas: paper/dense-urban 1 km², sparse-rural 2 km², large-scale 3 km².
+  // Traffic pairs scale with population (the paper's 10 pairs per 50 nodes).
+  static const std::vector<ScenarioPreset> presets = {
+      {"paper", "the paper's §III-A setting: 50 nodes / 1 km²", 50, 1000.0,
+       10},
+      {"dense-urban", "200 nodes / 1 km²: contention-heavy city block", 200,
+       1000.0, 40},
+      {"sparse-rural", "25 nodes / 2 km²: partition-prone countryside", 25,
+       1414.2, 5},
+      {"large-scale", "500 nodes / 3 km²: stress the scale-out path", 500,
+       1732.1, 100},
+  };
+  return presets;
+}
+
+ScenarioConfig preset_config(std::string_view name) {
+  for (const auto& preset : scenario_presets()) {
+    if (preset.name == name) {
+      ScenarioConfig cfg;
+      cfg.num_nodes = preset.num_nodes;
+      cfg.field_m = preset.field_m;
+      cfg.num_pairs = preset.num_pairs;
+      return cfg;
+    }
+  }
+  std::string known;
+  for (const auto& preset : scenario_presets()) {
+    known += known.empty() ? "" : ", ";
+    known += preset.name;
+  }
+  throw std::invalid_argument("unknown preset: " + std::string(name) +
+                              " (known: " + known + ")");
 }
 
 namespace {
@@ -210,12 +247,26 @@ ScenarioResult average(const std::vector<ScenarioResult>& runs) {
   return avg;
 }
 
+std::uint64_t trial_seed(const ScenarioConfig& cfg, int trial) {
+  const auto mix = [](std::uint64_t h, std::uint64_t v) {
+    return sim::splitmix64(h ^ v);
+  };
+  std::uint64_t h = sim::splitmix64(cfg.seed);
+  h = mix(h, static_cast<std::uint64_t>(cfg.protocol));
+  h = mix(h, std::bit_cast<std::uint64_t>(cfg.mean_speed_kmh));
+  h = mix(h, std::bit_cast<std::uint64_t>(cfg.pkts_per_s));
+  h = mix(h, static_cast<std::uint64_t>(cfg.num_nodes));
+  h = mix(h, std::bit_cast<std::uint64_t>(cfg.field_m));
+  h = mix(h, static_cast<std::uint64_t>(trial));
+  return h;
+}
+
 ScenarioResult run_trials(ScenarioConfig cfg, int trials) {
-  const std::uint64_t base_seed = cfg.seed;
+  const ScenarioConfig base = cfg;
   std::vector<ScenarioResult> runs;
   runs.reserve(static_cast<std::size_t>(trials));
   for (int t = 0; t < trials; ++t) {
-    cfg.seed = base_seed + static_cast<std::uint64_t>(t);
+    cfg.seed = trial_seed(base, t);
     runs.push_back(run_scenario(cfg));
   }
   return average(runs);

@@ -4,6 +4,7 @@
 // 25 simulation runs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -44,6 +45,24 @@ struct ScenarioConfig {
   core::RicaConfig rica{};
 };
 
+/// A named workload preset: the paper's baseline plus the larger/denser
+/// populations the spatial neighbor index makes affordable.  Field side is
+/// chosen so the preset's advertised area holds (e.g. 2 km² -> ~1414 m).
+struct ScenarioPreset {
+  std::string_view name;
+  std::string_view summary;
+  std::size_t num_nodes;
+  double field_m;
+  std::size_t num_pairs;
+};
+
+/// All built-in presets: paper, dense-urban, sparse-rural, large-scale.
+[[nodiscard]] const std::vector<ScenarioPreset>& scenario_presets();
+
+/// A ScenarioConfig with the named preset's population applied over the
+/// paper's defaults.  Throws std::invalid_argument for unknown names.
+[[nodiscard]] ScenarioConfig preset_config(std::string_view name);
+
 /// A run's outcome: the §III metrics.
 using ScenarioResult = stats::MetricsSummary;
 
@@ -54,7 +73,14 @@ using ScenarioResult = stats::MetricsSummary;
 /// throughput time series.
 [[nodiscard]] ScenarioResult average(const std::vector<ScenarioResult>& runs);
 
-/// Runs `trials` independent seeds (seed, seed+1, ...) and averages.
+/// Deterministic per-trial seed: a SplitMix64 hash of the experiment cell
+/// (base seed, protocol, speed, load, population) and the trial number.
+/// Unlike the old seed, seed+1, ... scheme, nearby base seeds and adjacent
+/// grid cells never share RNG streams, so cells stay independent no matter
+/// how a (possibly parallel) sweep enumerates them.
+[[nodiscard]] std::uint64_t trial_seed(const ScenarioConfig& cfg, int trial);
+
+/// Runs `trials` independent hashed seeds (see trial_seed) and averages.
 [[nodiscard]] ScenarioResult run_trials(ScenarioConfig cfg, int trials);
 
 }  // namespace rica::harness

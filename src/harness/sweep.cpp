@@ -1,8 +1,12 @@
 #include "harness/sweep.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <exception>
+#include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "harness/table.hpp"
 
@@ -15,26 +19,71 @@ std::vector<double> paper_speeds() {
 std::vector<SweepPoint> run_speed_sweep(const std::vector<double>& speeds_kmh,
                                         const std::vector<double>& loads,
                                         const BenchScale& scale) {
+  // Resolve the preset up front so a bad name fails before any work starts.
+  const ScenarioConfig base = preset_config(scale.preset);
+
+  // Lay out the grid in the canonical (load, speed, protocol) order; each
+  // cell owns a fixed output slot so worker scheduling never reorders (or
+  // otherwise perturbs) the results.
   std::vector<SweepPoint> grid;
   grid.reserve(speeds_kmh.size() * loads.size() * kAllProtocols.size());
   for (const double load : loads) {
     for (const double speed : speeds_kmh) {
       for (const ProtocolKind proto : kAllProtocols) {
-        ScenarioConfig cfg;
-        cfg.protocol = proto;
-        cfg.mean_speed_kmh = speed;
-        cfg.pkts_per_s = load;
-        cfg.sim_s = scale.sim_s;
-        cfg.seed = scale.seed;
-        std::fprintf(stderr, "[sweep] %-9s speed=%5.1f km/h load=%4.1f pkt/s"
-                             " (%d trials x %.0f s)\n",
-                     std::string(to_string(proto)).c_str(), speed, load,
-                     scale.trials, scale.sim_s);
-        grid.push_back(
-            SweepPoint{proto, speed, load, run_trials(cfg, scale.trials)});
+        grid.push_back(SweepPoint{proto, speed, load, {}});
       }
     }
   }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex log_mu;
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  const auto run_cell = [&](SweepPoint& cell) {
+    ScenarioConfig cfg = base;
+    cfg.protocol = cell.protocol;
+    cfg.mean_speed_kmh = cell.mean_speed_kmh;
+    cfg.pkts_per_s = cell.pkts_per_s;
+    cfg.sim_s = scale.sim_s;
+    cfg.seed = scale.seed;
+    if (scale.verbose) {
+      const std::scoped_lock lock(log_mu);
+      std::fprintf(stderr, "[sweep] %-9s speed=%5.1f km/h load=%4.1f pkt/s"
+                           " (%d trials x %.0f s)\n",
+                   std::string(to_string(cell.protocol)).c_str(),
+                   cell.mean_speed_kmh, cell.pkts_per_s, scale.trials,
+                   scale.sim_s);
+    }
+    cell.result = run_trials(cfg, scale.trials);
+  };
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= grid.size()) return;
+      try {
+        run_cell(grid[i]);
+      } catch (...) {
+        const std::scoped_lock lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t num_workers =
+      std::min(grid.size(), static_cast<std::size_t>(
+                                scale.threads > 0 ? scale.threads : hw));
+  if (num_workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(num_workers);
+    for (std::size_t i = 0; i < num_workers; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
   return grid;
 }
 

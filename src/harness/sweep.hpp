@@ -4,6 +4,13 @@
 // grid: {5 protocols} x {mean speeds 0..72 km/h} x {10, 20 pkt/s}.  The
 // sweep runner executes that grid once (multi-trial averaged) and the bench
 // binaries print the column they reproduce.
+//
+// Every grid cell is an independent Network owning its full stack, so the
+// runner executes cells on a worker pool (`BenchScale::threads`; 0 = one per
+// core).  Per-cell seeds are hashed from the cell coordinates (see
+// trial_seed) and results land in pre-assigned slots, so the output is
+// bit-identical to a serial run for a fixed seed regardless of thread count
+// or scheduling.
 #pragma once
 
 #include <functional>
@@ -27,8 +34,9 @@ struct SweepPoint {
 /// The paper's x-axis: mean speeds 0..72 km/h (MAXSPEED 0..144).
 [[nodiscard]] std::vector<double> paper_speeds();
 
-/// Runs the full grid.  Progress notes go to stderr so stdout stays a clean
-/// table stream.
+/// Runs the full grid on `scale.threads` workers over `scale.preset`'s
+/// population.  Progress notes go to stderr (unless `scale.verbose` is off)
+/// so stdout stays a clean table stream.
 [[nodiscard]] std::vector<SweepPoint> run_speed_sweep(
     const std::vector<double>& speeds_kmh, const std::vector<double>& loads,
     const BenchScale& scale);

@@ -96,7 +96,9 @@ void CommonChannelMac::start_tx(net::NodeId id) {
   const std::uint64_t tx_id = next_tx_id_++;
 
   // Coverage is evaluated at transmission start; node motion within a few
-  // milliseconds of airtime is negligible at the paper's speeds.
+  // milliseconds of airtime is negligible at the paper's speeds.  This is
+  // the MAC's hottest channel query (one per transmission); it is served by
+  // the channel's spatial neighbor index rather than an O(N) scan.
   const auto receivers = channel_.neighbors_of(id, start);
   for (const auto r : receivers) {
     nodes_[r].heard.push_back(Interval{start, end, tx_id});

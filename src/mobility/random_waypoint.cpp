@@ -61,7 +61,8 @@ double WaypointNode::speed_at(sim::Time t) {
 
 MobilityManager::MobilityManager(std::size_t num_nodes,
                                  const WaypointConfig& cfg,
-                                 const sim::RngManager& rng) {
+                                 const sim::RngManager& rng)
+    : cfg_(cfg) {
   nodes_.reserve(num_nodes);
   for (std::size_t i = 0; i < num_nodes; ++i) {
     nodes_.emplace_back(cfg, rng.stream("mobility", i));
@@ -79,6 +80,20 @@ double MobilityManager::node_distance(std::uint32_t a, std::uint32_t b,
 
 double MobilityManager::speed(std::uint32_t id, sim::Time t) {
   return nodes_.at(id).speed_at(t);
+}
+
+void MobilityManager::snapshot(sim::Time t, std::vector<Vec2>& out) {
+  out.clear();
+  out.reserve(nodes_.size());
+  for (auto& node : nodes_) {
+    out.push_back(node.position_at(t));
+  }
+}
+
+std::vector<Vec2> MobilityManager::snapshot(sim::Time t) {
+  std::vector<Vec2> out;
+  snapshot(t, out);
+  return out;
 }
 
 }  // namespace rica::mobility

@@ -80,9 +80,24 @@ class MobilityManager {
   /// Instantaneous speed of node `id` at time t, m/s.
   [[nodiscard]] double speed(std::uint32_t id, sim::Time t);
 
+  /// Batched snapshot: positions of every node at time t, indexed by node
+  /// id.  One call advances all trajectories to t; consumers that need the
+  /// whole field at an epoch (e.g. the channel's spatial neighbor index)
+  /// use this instead of N lazy per-node queries.
+  void snapshot(sim::Time t, std::vector<Vec2>& out);
+  [[nodiscard]] std::vector<Vec2> snapshot(sim::Time t);
+
+  /// Upper bound on any node's instantaneous speed, m/s (0 for a static
+  /// network).  Lets spatial indexes bound how far a node can drift from a
+  /// snapshot taken `dt` ago: at most max_speed_mps() * dt meters.
+  [[nodiscard]] double max_speed_mps() const { return cfg_.max_speed_mps; }
+
+  [[nodiscard]] const WaypointConfig& config() const { return cfg_; }
+
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
 
  private:
+  WaypointConfig cfg_;
   std::vector<WaypointNode> nodes_;
 };
 

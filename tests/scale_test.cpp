@@ -1,0 +1,250 @@
+// Scale-out core: spatial neighbor-index equivalence with the brute-force
+// scan, batched mobility snapshots, hashed per-cell trial seeds, scenario
+// presets, and serial/parallel sweep determinism.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "channel/channel_model.hpp"
+#include "harness/flags.hpp"
+#include "harness/scenario.hpp"
+#include "harness/sweep.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rica {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mobility snapshots
+// ---------------------------------------------------------------------------
+
+TEST(MobilitySnapshot, MatchesLazyPerNodeQueries) {
+  mobility::WaypointConfig cfg;
+  cfg.field = mobility::Field{800.0, 800.0};
+  cfg.max_speed_mps = 15.0;
+  // Two managers over the same seed realize identical trajectories, so the
+  // batched API can be checked against the lazy one without interference.
+  sim::RngManager rng(42);
+  mobility::MobilityManager batched(20, cfg, rng);
+  mobility::MobilityManager lazy(20, cfg, rng);
+
+  for (int step = 0; step <= 40; ++step) {
+    const auto t = sim::seconds_f(0.7 * step);
+    const auto snap = batched.snapshot(t);
+    ASSERT_EQ(snap.size(), 20u);
+    for (std::uint32_t id = 0; id < 20; ++id) {
+      EXPECT_EQ(snap[id], lazy.position(id, t))
+          << "node " << id << " at t=" << t.seconds();
+    }
+  }
+}
+
+TEST(MobilitySnapshot, ExposesSpeedBound) {
+  mobility::WaypointConfig cfg;
+  cfg.max_speed_mps = 12.5;
+  sim::RngManager rng(1);
+  mobility::MobilityManager mgr(5, cfg, rng);
+  EXPECT_DOUBLE_EQ(mgr.max_speed_mps(), 12.5);
+}
+
+// ---------------------------------------------------------------------------
+// Neighbor index == brute force, across randomized configurations
+// ---------------------------------------------------------------------------
+
+struct IndexCase {
+  std::uint64_t seed;
+  std::size_t num_nodes;
+  double field_m;
+  double max_speed_mps;
+  double range_m;
+};
+
+class NeighborIndexEquivalence : public ::testing::TestWithParam<IndexCase> {};
+
+TEST_P(NeighborIndexEquivalence, GridMatchesBruteForceOverTime) {
+  const auto p = GetParam();
+  mobility::WaypointConfig wcfg;
+  wcfg.field = mobility::Field{p.field_m, p.field_m};
+  wcfg.max_speed_mps = p.max_speed_mps;
+  sim::RngManager rng(p.seed);
+  mobility::MobilityManager mgr(p.num_nodes, wcfg, rng);
+
+  channel::ChannelConfig ccfg;
+  ccfg.range_m = p.range_m;
+  ASSERT_TRUE(ccfg.use_neighbor_index);
+  channel::ChannelModel channel(ccfg, mgr, rng);
+
+  for (int step = 0; step <= 60; ++step) {
+    const auto t = sim::seconds_f(0.5 * step);  // crosses many rebuild epochs
+    for (std::uint32_t node = 0; node < p.num_nodes; ++node) {
+      const auto indexed = channel.neighbors_of(node, t);
+      const auto brute = channel.neighbors_of_bruteforce(node, t);
+      ASSERT_EQ(indexed, brute)
+          << "node " << node << " at t=" << t.seconds() << " (seed " << p.seed
+          << ", n=" << p.num_nodes << ", field=" << p.field_m << ")";
+    }
+  }
+  EXPECT_GE(channel.neighbor_index().rebuild_count(), 2u)
+      << "the sweep should have crossed rebuild epochs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedConfigs, NeighborIndexEquivalence,
+    ::testing::Values(
+        IndexCase{3, 1, 500.0, 10.0, 250.0},     // degenerate single node
+        IndexCase{5, 25, 1414.2, 0.0, 250.0},    // static sparse-rural
+        IndexCase{7, 60, 1000.0, 25.0, 250.0},   // fast paper-density
+        IndexCase{11, 40, 2000.0, 15.0, 100.0},  // short range, big field
+        IndexCase{13, 120, 1000.0, 40.0, 250.0}  // dense-urban, very fast
+        ));
+
+TEST(NeighborIndex, InRangeAndSampleMatchBruteChannel) {
+  // Two full stacks over identical seeds: one indexed, one brute-force.
+  // Identical query sequences must observe identical channels.
+  mobility::WaypointConfig wcfg;
+  wcfg.max_speed_mps = 20.0;
+  sim::RngManager rng(99);
+  mobility::MobilityManager mgr_a(40, wcfg, rng);
+  mobility::MobilityManager mgr_b(40, wcfg, rng);
+
+  channel::ChannelConfig indexed_cfg;
+  channel::ChannelConfig brute_cfg;
+  brute_cfg.use_neighbor_index = false;
+  channel::ChannelModel indexed(indexed_cfg, mgr_a, rng);
+  channel::ChannelModel brute(brute_cfg, mgr_b, rng);
+
+  for (int step = 0; step <= 20; ++step) {
+    const auto t = sim::seconds_f(0.9 * step);
+    for (std::uint32_t a = 0; a < 40; ++a) {
+      for (std::uint32_t b = 0; b < 40; ++b) {
+        ASSERT_EQ(indexed.in_range(a, b, t), brute.in_range(a, b, t));
+        const auto sa = indexed.sample(a, b, t);
+        const auto sb = brute.sample(a, b, t);
+        ASSERT_EQ(sa.has_value(), sb.has_value());
+        if (sa) {
+          ASSERT_EQ(sa->snr_db, sb->snr_db);
+          ASSERT_EQ(sa->csi, sb->csi);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hashed per-cell trial seeds
+// ---------------------------------------------------------------------------
+
+TEST(TrialSeed, DeterministicAndCellIndependent) {
+  harness::ScenarioConfig cfg;
+  EXPECT_EQ(harness::trial_seed(cfg, 0), harness::trial_seed(cfg, 0));
+  EXPECT_NE(harness::trial_seed(cfg, 0), harness::trial_seed(cfg, 1));
+
+  // The old seed, seed+1, ... scheme made trial 1 of base seed 1 collide
+  // with trial 0 of base seed 2.  The hashed scheme must not.
+  harness::ScenarioConfig shifted = cfg;
+  shifted.seed = cfg.seed + 1;
+  EXPECT_NE(harness::trial_seed(cfg, 1), harness::trial_seed(shifted, 0));
+
+  // Every cell coordinate feeds the hash.
+  harness::ScenarioConfig other = cfg;
+  other.protocol = harness::ProtocolKind::kAodv;
+  EXPECT_NE(harness::trial_seed(cfg, 0), harness::trial_seed(other, 0));
+  other = cfg;
+  other.mean_speed_kmh += 14.4;
+  EXPECT_NE(harness::trial_seed(cfg, 0), harness::trial_seed(other, 0));
+  other = cfg;
+  other.pkts_per_s *= 2.0;
+  EXPECT_NE(harness::trial_seed(cfg, 0), harness::trial_seed(other, 0));
+  other = cfg;
+  other.num_nodes = 200;
+  EXPECT_NE(harness::trial_seed(cfg, 0), harness::trial_seed(other, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario presets
+// ---------------------------------------------------------------------------
+
+TEST(Presets, KnownPopulations) {
+  EXPECT_EQ(harness::preset_config("paper").num_nodes, 50u);
+  EXPECT_EQ(harness::preset_config("dense-urban").num_nodes, 200u);
+  EXPECT_EQ(harness::preset_config("sparse-rural").num_nodes, 25u);
+  EXPECT_EQ(harness::preset_config("large-scale").num_nodes, 500u);
+  EXPECT_NEAR(harness::preset_config("sparse-rural").field_m, 1414.2, 0.1);
+  EXPECT_NEAR(harness::preset_config("large-scale").field_m, 1732.1, 0.1);
+  EXPECT_EQ(harness::scenario_presets().size(), 4u);
+}
+
+TEST(Presets, UnknownNameThrows) {
+  EXPECT_THROW({ auto cfg = harness::preset_config("metropolis"); (void)cfg; },
+               std::invalid_argument);
+}
+
+TEST(Presets, PairsScaleWithPopulation) {
+  EXPECT_EQ(harness::preset_config("paper").num_pairs, 10u);
+  EXPECT_EQ(harness::preset_config("dense-urban").num_pairs, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweep == serial sweep, bit for bit
+// ---------------------------------------------------------------------------
+
+void expect_identical(const harness::ScenarioResult& a,
+                      const harness::ScenarioResult& b) {
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.delivery_pct, b.delivery_pct);
+  EXPECT_EQ(a.avg_delay_ms, b.avg_delay_ms);
+  EXPECT_EQ(a.overhead_kbps, b.overhead_kbps);
+  EXPECT_EQ(a.avg_link_tput_kbps, b.avg_link_tput_kbps);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.control_transmissions, b.control_transmissions);
+  EXPECT_EQ(a.control_collisions, b.control_collisions);
+  EXPECT_EQ(a.tput_kbps_series, b.tput_kbps_series);
+}
+
+TEST(ParallelSweep, BitIdenticalToSerial) {
+  harness::BenchScale serial{};
+  serial.trials = 2;
+  serial.sim_s = 4.0;
+  serial.seed = 7;
+  serial.threads = 1;
+  serial.verbose = false;
+
+  harness::BenchScale parallel = serial;
+  parallel.threads = 4;
+
+  const std::vector<double> speeds{0.0, 36.0};
+  const std::vector<double> loads{10.0};
+  const auto grid_serial = harness::run_speed_sweep(speeds, loads, serial);
+  const auto grid_parallel = harness::run_speed_sweep(speeds, loads, parallel);
+
+  ASSERT_EQ(grid_serial.size(), grid_parallel.size());
+  ASSERT_EQ(grid_serial.size(),
+            speeds.size() * loads.size() * harness::kAllProtocols.size());
+  for (std::size_t i = 0; i < grid_serial.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    EXPECT_EQ(grid_serial[i].protocol, grid_parallel[i].protocol);
+    EXPECT_EQ(grid_serial[i].mean_speed_kmh, grid_parallel[i].mean_speed_kmh);
+    EXPECT_EQ(grid_serial[i].pkts_per_s, grid_parallel[i].pkts_per_s);
+    expect_identical(grid_serial[i].result, grid_parallel[i].result);
+  }
+}
+
+TEST(ParallelSweep, UnknownPresetThrowsBeforeRunning) {
+  harness::BenchScale scale{};
+  scale.trials = 1;
+  scale.sim_s = 1.0;
+  scale.seed = 1;
+  scale.verbose = false;
+  scale.preset = "no-such-preset";
+  EXPECT_THROW(harness::run_speed_sweep({0.0}, {10.0}, scale),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rica
