@@ -8,7 +8,7 @@
 #include "harness/flags.hpp"
 #include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
-#include "mobility/random_waypoint.hpp"
+#include "mobility/mobility_model.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -64,7 +64,7 @@ BENCHMARK(BM_SimulatorTimerChain);
 
 void BM_MobilityPositionQuery(benchmark::State& state) {
   sim::RngManager rng(7);
-  mobility::WaypointConfig cfg;
+  mobility::MobilityConfig cfg;
   cfg.max_speed_mps = 20.0;
   mobility::MobilityManager mgr(50, cfg, rng);
   std::int64_t t = 0;
@@ -78,9 +78,32 @@ void BM_MobilityPositionQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_MobilityPositionQuery);
 
+// Per-model snapshot() cost at the neighbor index's rebuild cadence
+// (250 ms epochs, 200 nodes): what one index rebuild pays for mobility
+// evaluation under each trajectory model.
+void BM_MobilitySnapshot(benchmark::State& state, const char* spec) {
+  sim::RngManager rng(7);
+  auto cfg = mobility::parse_mobility_spec(spec);
+  cfg.max_speed_mps = 20.0;
+  mobility::MobilityManager mgr(200, cfg, rng);
+  std::vector<mobility::Vec2> out;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 250'000'000;  // one rebuild epoch forward
+    mgr.snapshot(sim::Time{t}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK_CAPTURE(BM_MobilitySnapshot, waypoint, "waypoint");
+BENCHMARK_CAPTURE(BM_MobilitySnapshot, walk, "walk");
+BENCHMARK_CAPTURE(BM_MobilitySnapshot, gauss_markov, "gauss-markov");
+BENCHMARK_CAPTURE(BM_MobilitySnapshot, group, "group");
+BENCHMARK_CAPTURE(BM_MobilitySnapshot, manhattan, "manhattan");
+
 void BM_ChannelSample(benchmark::State& state) {
   sim::RngManager rng(11);
-  mobility::WaypointConfig wcfg;
+  mobility::MobilityConfig wcfg;
   wcfg.max_speed_mps = 10.0;
   mobility::MobilityManager mgr(50, wcfg, rng);
   channel::ChannelModel channel(channel::ChannelConfig{}, mgr, rng);
@@ -97,7 +120,7 @@ BENCHMARK(BM_ChannelSample);
 
 void BM_NeighborScan(benchmark::State& state) {
   sim::RngManager rng(13);
-  mobility::WaypointConfig wcfg;
+  mobility::MobilityConfig wcfg;
   wcfg.max_speed_mps = 10.0;
   mobility::MobilityManager mgr(50, wcfg, rng);
   channel::ChannelModel channel(channel::ChannelConfig{}, mgr, rng);
@@ -116,7 +139,7 @@ BENCHMARK(BM_NeighborScan);
 void neighbor_query_bench(benchmark::State& state, bool use_index) {
   const std::int64_t n = state.range(0);
   sim::RngManager rng(13);
-  mobility::WaypointConfig wcfg;
+  mobility::MobilityConfig wcfg;
   wcfg.field = mobility::Field{field_for(n), field_for(n)};
   wcfg.max_speed_mps = 10.0;
   mobility::MobilityManager mgr(static_cast<std::size_t>(n), wcfg, rng);

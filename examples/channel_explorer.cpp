@@ -3,15 +3,21 @@
 // for understanding *why* channel-adaptive routing pays off before diving
 // into protocol behaviour.
 //
-// Flags: --speed MPS (pair speed for the time series, default 10)
+// Flags: --preset NAME    population/field for the static sample (default:
+//                         a dense 300-node variant of the paper field)
+//        --mobility SPEC  model driving the moving pair (default waypoint)
+//        --speed MPS      pair speed for the time series (default 10)
+#include <algorithm>
 #include <array>
 #include <exception>
 #include <iostream>
+#include <string>
 
 #include "channel/channel_model.hpp"
 #include "harness/flags.hpp"
+#include "harness/scenario.hpp"
 #include "harness/table.hpp"
-#include "mobility/random_waypoint.hpp"
+#include "mobility/mobility_model.hpp"
 
 int main(int argc, char** argv) {
   using namespace rica;
@@ -19,18 +25,27 @@ int main(int argc, char** argv) {
     const harness::Flags flags(argc, argv);
 
     // Part 1: class population by distance, from a large static sample.
+    // With --preset the sample uses that scenario's field and population
+    // (minimum 100 nodes so the rings stay well filled).
     sim::RngManager rng(flags.get("seed", static_cast<std::uint64_t>(1)));
-    mobility::WaypointConfig wp;
+    std::size_t sample_nodes = 300;
+    mobility::MobilityConfig wp;
     wp.field = mobility::Field{1000.0, 1000.0};
+    if (flags.has("preset")) {
+      const auto preset = harness::preset_config(
+          flags.get("preset", std::string{"paper"}));
+      sample_nodes = std::max<std::size_t>(100, preset.num_nodes);
+      wp.field = mobility::Field{preset.field_m, preset.field_m};
+    }
     wp.max_speed_mps = 0.0;
-    mobility::MobilityManager mobility(300, wp, rng);
+    mobility::MobilityManager mobility(sample_nodes, wp, rng);
     channel::ChannelModel model(channel::ChannelConfig{}, mobility, rng);
 
     constexpr int kRings = 5;
     std::array<std::array<int, 4>, kRings> hist{};
     std::array<int, kRings> totals{};
-    for (std::uint32_t a = 0; a < 300; ++a) {
-      for (std::uint32_t b = a + 1; b < 300; ++b) {
+    for (std::uint32_t a = 0; a < sample_nodes; ++a) {
+      for (std::uint32_t b = a + 1; b < sample_nodes; ++b) {
         const double d = mobility.node_distance(a, b, sim::Time::zero());
         if (d > 250.0) continue;
         const auto s = model.sample(a, b, sim::Time::zero());
@@ -39,7 +54,8 @@ int main(int argc, char** argv) {
         ++totals[ring];
       }
     }
-    std::cout << "CSI class population by link distance (static sample)\n";
+    std::cout << "CSI class population by link distance (static sample, "
+              << sample_nodes << " nodes)\n";
     harness::Table table({"distance_m", "A_%", "B_%", "C_%", "D_%", "links"});
     for (int r = 0; r < kRings; ++r) {
       if (totals[r] == 0) continue;
@@ -53,9 +69,10 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
 
-    // Part 2: one moving pair's class over time.
+    // Part 2: one moving pair's class over time, under a selectable model.
     const double speed = flags.get("speed", 10.0);
-    mobility::WaypointConfig wp2;
+    const std::string spec = flags.get("mobility", std::string{"waypoint"});
+    mobility::MobilityConfig wp2 = mobility::parse_mobility_spec(spec);
     wp2.field = mobility::Field{200.0, 200.0};  // stays in range
     wp2.max_speed_mps = speed;
     wp2.pause = sim::Time::zero();
@@ -63,8 +80,8 @@ int main(int argc, char** argv) {
     mobility::MobilityManager pair(2, wp2, rng2);
     channel::ChannelModel link(channel::ChannelConfig{}, pair, rng2);
 
-    std::cout << "\nOne link's CSI class, 200 ms samples, pair speed ~"
-              << speed << " m/s each:\n";
+    std::cout << "\nOne link's CSI class, 200 ms samples, " << spec
+              << " mobility, pair speed ~" << speed << " m/s each:\n";
     for (int row = 0; row < 4; ++row) {
       for (int i = 0; i < 60; ++i) {
         const auto t = sim::milliseconds(200 * (row * 60 + i));

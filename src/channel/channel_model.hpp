@@ -23,7 +23,7 @@
 
 #include "channel/csi.hpp"
 #include "channel/neighbor_index.hpp"
-#include "mobility/random_waypoint.hpp"
+#include "mobility/mobility_model.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 

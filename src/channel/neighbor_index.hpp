@@ -18,7 +18,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "mobility/random_waypoint.hpp"
+#include "mobility/mobility_model.hpp"
 #include "sim/time.hpp"
 
 namespace rica::channel {

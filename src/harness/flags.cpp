@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "mobility/mobility_model.hpp"
+
 namespace rica::harness {
 
 Flags::Flags(int argc, const char* const* argv) {
@@ -79,6 +81,14 @@ BenchScale bench_scale(const Flags& flags, int def_trials, double def_sim_s) {
   scale.seed = flags.get("seed", static_cast<std::uint64_t>(1));
   scale.threads = flags.get("threads", 0);
   scale.preset = flags.get("preset", scale.preset);
+  scale.mobility = flags.get("mobility", scale.mobility);
+  // Validate the spec eagerly: a typo should fail with the known-model list
+  // before any experiment cell runs, not after.
+  (void)mobility::parse_mobility_spec(scale.mobility);
+  scale.pause_s = flags.get("pause", scale.pause_s);
+  if (scale.pause_s < 0.0) {
+    throw std::invalid_argument("--pause must be >= 0 seconds");
+  }
   return scale;
 }
 

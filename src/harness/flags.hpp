@@ -46,12 +46,18 @@ class Flags {
 ///   --threads N       worker threads for the sweep grid (0 = one per core)
 ///   --preset NAME     scenario preset: paper, dense-urban, sparse-rural,
 ///                     large-scale (see scenario_presets())
+///   --mobility SPEC   mobility model "model[:k=v,...]": waypoint, walk,
+///                     gauss-markov, group, manhattan (validated here so a
+///                     typo fails before any cell runs)
+///   --pause S         pause on arrival, seconds (waypoint/walk legs)
 struct BenchScale {
   int trials;
   double sim_s;
   std::uint64_t seed;
   int threads = 0;            ///< 0 = hardware concurrency
   std::string preset = "paper";
+  std::string mobility = "waypoint";
+  double pause_s = 3.0;       ///< the paper's §III-A default
   bool verbose = true;        ///< per-cell progress notes on stderr
 };
 [[nodiscard]] BenchScale bench_scale(const Flags& flags, int def_trials,

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/rica.hpp"
+#include "mobility/mobility_model.hpp"
 #include "net/network.hpp"
 #include "routing/abr/abr.hpp"
 #include "routing/aodv/aodv.hpp"
@@ -87,6 +88,7 @@ namespace {
 net::NetworkConfig to_network_config(const ScenarioConfig& cfg) {
   net::NetworkConfig net;
   net.num_nodes = cfg.num_nodes;
+  net.mobility = mobility::parse_mobility_spec(cfg.mobility);
   net.mobility.field = mobility::Field{cfg.field_m, cfg.field_m};
   net.mobility.max_speed_mps = 2.0 * cfg.mean_speed_kmh / 3.6;
   net.mobility.pause = sim::seconds_f(cfg.pause_s);
@@ -257,6 +259,36 @@ std::uint64_t trial_seed(const ScenarioConfig& cfg, int trial) {
   h = mix(h, std::bit_cast<std::uint64_t>(cfg.pkts_per_s));
   h = mix(h, static_cast<std::uint64_t>(cfg.num_nodes));
   h = mix(h, std::bit_cast<std::uint64_t>(cfg.field_m));
+  // The mobility model joins the cell hash only when it departs from the
+  // paper's waypoint default, so every pre-subsystem waypoint result stays
+  // bit-identical while the new mobility axis still gets independent seeds.
+  // The *parsed* config is hashed, not the spec string, so aliases ("rwp",
+  // "walk:leg=10") seed identically to their canonical forms.
+  const auto mob = mobility::parse_mobility_spec(cfg.mobility);
+  switch (mob.model) {
+    case mobility::ModelKind::kRandomWaypoint:
+      break;  // no mix: the pre-subsystem grid keeps its seeds
+    case mobility::ModelKind::kRandomWalk:
+      h = mix(h, static_cast<std::uint64_t>(mob.model));
+      h = mix(h, std::bit_cast<std::uint64_t>(mob.walk_leg_mean_s));
+      break;
+    case mobility::ModelKind::kGaussMarkov:
+      h = mix(h, static_cast<std::uint64_t>(mob.model));
+      h = mix(h, std::bit_cast<std::uint64_t>(mob.gm_alpha));
+      h = mix(h, std::bit_cast<std::uint64_t>(mob.gm_step_s));
+      break;
+    case mobility::ModelKind::kGroup:
+      h = mix(h, static_cast<std::uint64_t>(mob.model));
+      h = mix(h, static_cast<std::uint64_t>(mob.group_size));
+      h = mix(h, std::bit_cast<std::uint64_t>(mob.group_radius_m));
+      h = mix(h, std::bit_cast<std::uint64_t>(mob.group_speed_frac));
+      break;
+    case mobility::ModelKind::kManhattan:
+      h = mix(h, static_cast<std::uint64_t>(mob.model));
+      h = mix(h, std::bit_cast<std::uint64_t>(mob.manhattan_spacing_m));
+      h = mix(h, std::bit_cast<std::uint64_t>(mob.manhattan_turn_prob));
+      break;
+  }
   h = mix(h, static_cast<std::uint64_t>(trial));
   return h;
 }

@@ -36,6 +36,9 @@ struct ScenarioConfig {
   double radio_range_m = 250.0;
   double mean_speed_kmh = 36.0;  ///< speeds ~ U(0, 2*mean); paper's x-axis
   double pause_s = 3.0;
+  /// Mobility model spec "model[:k=v,...]" (see mobility::parse_mobility_spec);
+  /// field size, speed, and pause always come from the scenario fields above.
+  std::string mobility = "waypoint";
   std::size_t num_pairs = 10;
   double pkts_per_s = 10.0;
   std::uint16_t packet_bytes = 512;

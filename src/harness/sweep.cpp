@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "harness/table.hpp"
+#include "mobility/mobility_model.hpp"
 
 namespace rica::harness {
 
@@ -19,18 +20,31 @@ std::vector<double> paper_speeds() {
 std::vector<SweepPoint> run_speed_sweep(const std::vector<double>& speeds_kmh,
                                         const std::vector<double>& loads,
                                         const BenchScale& scale) {
-  // Resolve the preset up front so a bad name fails before any work starts.
-  const ScenarioConfig base = preset_config(scale.preset);
+  return run_speed_sweep(speeds_kmh, loads, {scale.mobility}, scale);
+}
 
-  // Lay out the grid in the canonical (load, speed, protocol) order; each
-  // cell owns a fixed output slot so worker scheduling never reorders (or
-  // otherwise perturbs) the results.
+std::vector<SweepPoint> run_speed_sweep(
+    const std::vector<double>& speeds_kmh, const std::vector<double>& loads,
+    const std::vector<std::string>& mobilities, const BenchScale& scale) {
+  // Resolve the preset and mobility specs up front so a bad name fails
+  // before any work starts.
+  const ScenarioConfig base = preset_config(scale.preset);
+  for (const auto& mobility : mobilities) {
+    (void)mobility::parse_mobility_spec(mobility);
+  }
+
+  // Lay out the grid in the canonical (mobility, load, speed, protocol)
+  // order; each cell owns a fixed output slot so worker scheduling never
+  // reorders (or otherwise perturbs) the results.
   std::vector<SweepPoint> grid;
-  grid.reserve(speeds_kmh.size() * loads.size() * kAllProtocols.size());
-  for (const double load : loads) {
-    for (const double speed : speeds_kmh) {
-      for (const ProtocolKind proto : kAllProtocols) {
-        grid.push_back(SweepPoint{proto, speed, load, {}});
+  grid.reserve(mobilities.size() * speeds_kmh.size() * loads.size() *
+               kAllProtocols.size());
+  for (const auto& mobility : mobilities) {
+    for (const double load : loads) {
+      for (const double speed : speeds_kmh) {
+        for (const ProtocolKind proto : kAllProtocols) {
+          grid.push_back(SweepPoint{proto, mobility, speed, load, {}});
+        }
       }
     }
   }
@@ -43,17 +57,19 @@ std::vector<SweepPoint> run_speed_sweep(const std::vector<double>& speeds_kmh,
   const auto run_cell = [&](SweepPoint& cell) {
     ScenarioConfig cfg = base;
     cfg.protocol = cell.protocol;
+    cfg.mobility = cell.mobility;
     cfg.mean_speed_kmh = cell.mean_speed_kmh;
     cfg.pkts_per_s = cell.pkts_per_s;
+    cfg.pause_s = scale.pause_s;
     cfg.sim_s = scale.sim_s;
     cfg.seed = scale.seed;
     if (scale.verbose) {
       const std::scoped_lock lock(log_mu);
-      std::fprintf(stderr, "[sweep] %-9s speed=%5.1f km/h load=%4.1f pkt/s"
-                           " (%d trials x %.0f s)\n",
+      std::fprintf(stderr, "[sweep] %-9s %-12s speed=%5.1f km/h load=%4.1f"
+                           " pkt/s (%d trials x %.0f s)\n",
                    std::string(to_string(cell.protocol)).c_str(),
-                   cell.mean_speed_kmh, cell.pkts_per_s, scale.trials,
-                   scale.sim_s);
+                   cell.mobility.c_str(), cell.mean_speed_kmh,
+                   cell.pkts_per_s, scale.trials, scale.sim_s);
     }
     cell.result = run_trials(cfg, scale.trials);
   };

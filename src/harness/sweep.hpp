@@ -23,9 +23,10 @@
 
 namespace rica::harness {
 
-/// One grid cell: protocol x speed x offered load.
+/// One grid cell: mobility model x protocol x speed x offered load.
 struct SweepPoint {
   ProtocolKind protocol;
+  std::string mobility;  ///< model spec, e.g. "waypoint", "gauss-markov"
   double mean_speed_kmh = 0.0;
   double pkts_per_s = 0.0;
   ScenarioResult result;
@@ -35,14 +36,24 @@ struct SweepPoint {
 [[nodiscard]] std::vector<double> paper_speeds();
 
 /// Runs the full grid on `scale.threads` workers over `scale.preset`'s
-/// population.  Progress notes go to stderr (unless `scale.verbose` is off)
-/// so stdout stays a clean table stream.
+/// population under `scale.mobility`.  Progress notes go to stderr (unless
+/// `scale.verbose` is off) so stdout stays a clean table stream.
 [[nodiscard]] std::vector<SweepPoint> run_speed_sweep(
     const std::vector<double>& speeds_kmh, const std::vector<double>& loads,
     const BenchScale& scale);
 
+/// The full grid with an explicit mobility axis: every model spec in
+/// `mobilities` runs the whole {speed x load x protocol} grid (cells in
+/// (mobility, load, speed, protocol) order).  Scheduling stays bit-identical
+/// to a serial enumeration for a fixed seed regardless of thread count.
+[[nodiscard]] std::vector<SweepPoint> run_speed_sweep(
+    const std::vector<double>& speeds_kmh, const std::vector<double>& loads,
+    const std::vector<std::string>& mobilities, const BenchScale& scale);
+
 /// Prints one "figure": rows = speed, columns = protocols, cells =
-/// `metric(result)` formatted with `precision` digits.
+/// `metric(result)` formatted with `precision` digits.  Expects a
+/// single-mobility grid (a multi-model grid would collapse onto the first
+/// model's cells); fig7 prints the mobility axis itself.
 void print_figure(std::ostream& os, const std::vector<SweepPoint>& grid,
                   double load, const std::string& title,
                   const std::function<double(const ScenarioResult&)>& metric,

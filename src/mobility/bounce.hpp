@@ -1,0 +1,98 @@
+// Constant-velocity motion segments with specular wall reflection, shared by
+// the random-walk and Gauss-Markov models.
+//
+// A trajectory phase (one walk leg, one Gauss-Markov step) is chopped into
+// segments that end either at the phase boundary or at the first wall hit.
+// Segment boundaries depend only on the motion itself, so positions are a
+// pure function of query time regardless of how queries interleave — the
+// property the neighbor-index equivalence tests rely on.  Wall-hit times are
+// rounded *down* to whole nanoseconds so an in-segment position can never
+// land outside the field.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mobility/mobility_model.hpp"
+#include "mobility/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace rica::mobility::detail {
+
+/// One constant-velocity stretch of a trajectory, valid on [t0, t1].
+struct BounceSegment {
+  Vec2 origin{};            ///< position at t0
+  Vec2 vel{};               ///< velocity throughout the segment, m/s
+  sim::Time t0 = sim::Time::zero();
+  sim::Time t1 = sim::Time::zero();
+  Vec2 next_vel{};          ///< velocity after t1 (wall hits flip components)
+  bool wall_hit = false;    ///< t1 is a wall hit (else the phase boundary)
+};
+
+/// Position inside a segment; requires t0 <= t <= t1.
+[[nodiscard]] inline Vec2 segment_position(const BounceSegment& s,
+                                           sim::Time t) {
+  return s.origin + s.vel * (t - s.t0).seconds();
+}
+
+/// A duration of `s` seconds rounded down to whole nanoseconds (never
+/// negative), so motion truncated at the rounded time cannot overshoot.
+[[nodiscard]] inline sim::Time floor_seconds(double s) {
+  const double ns = std::floor(s * 1e9);
+  if (ns <= 0.0) return sim::Time::zero();
+  if (ns >= 9.2e18) return sim::Time::max();
+  return sim::Time{static_cast<std::int64_t>(ns)};
+}
+
+/// First segment of motion starting at (p, v) at t0, bounded by `phase_end`:
+/// runs until the earlier of the phase boundary and the first wall of `f`.
+/// On a wall hit, `next_vel` has the hit component(s) reflected; a corner
+/// hit flips both.  A segment starting on a wall with outward velocity has
+/// zero length and only flips — callers loop until t < t1.
+[[nodiscard]] inline BounceSegment bounce_segment(Vec2 p, Vec2 v,
+                                                  sim::Time t0,
+                                                  sim::Time phase_end,
+                                                  const Field& f) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double hx = kInf;
+  double hy = kInf;
+  if (v.x > 0.0) {
+    hx = (f.width - p.x) / v.x;
+  } else if (v.x < 0.0) {
+    hx = -p.x / v.x;
+  }
+  if (v.y > 0.0) {
+    hy = (f.height - p.y) / v.y;
+  } else if (v.y < 0.0) {
+    hy = -p.y / v.y;
+  }
+  const double hit_s = std::min(hx, hy);
+  const double phase_s = (phase_end - t0).seconds();
+  if (!(hit_s < phase_s)) {
+    return BounceSegment{p, v, t0, phase_end, v, false};
+  }
+  const sim::Time t1 = t0 + floor_seconds(hit_s);
+  Vec2 next = v;
+  if (hx <= hit_s) next.x = -next.x;
+  if (hy <= hit_s) next.y = -next.y;
+  return BounceSegment{p, v, t0, t1, next, true};
+}
+
+/// An everlasting zero-velocity segment (static networks, pauses forever).
+[[nodiscard]] inline BounceSegment static_segment(Vec2 p) {
+  return BounceSegment{p, Vec2{}, sim::Time::zero(), sim::Time::max(), Vec2{},
+                       false};
+}
+
+/// Travel time for a destination-bounded leg, rounded *up* to whole
+/// nanoseconds so the realized velocity magnitude never exceeds the drawn
+/// speed, with a 1 ms floor that keeps lazy advancement progressing even on
+/// a zero-distance draw.
+[[nodiscard]] inline sim::Time leg_travel(double dist_m, double speed_mps) {
+  const double ns = std::ceil(dist_m / speed_mps * 1e9);
+  return std::max(sim::milliseconds(1),
+                  sim::Time{static_cast<std::int64_t>(ns)});
+}
+
+}  // namespace rica::mobility::detail

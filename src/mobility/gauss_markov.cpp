@@ -1,0 +1,110 @@
+#include "mobility/gauss_markov.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace rica::mobility {
+
+namespace {
+
+// Innovation scales relative to the speed bound: large enough that motion is
+// visibly stochastic at any alpha, small enough that the clamp to
+// [0, max_speed] rarely binds.
+constexpr double kSpeedSigmaFrac = 0.2;   ///< sigma_s = frac * max_speed
+constexpr double kHeadingSigmaRad = 0.5;  ///< sigma_h, radians
+constexpr double kMeanSpeedFrac = 0.5;    ///< drift mean = frac * max_speed
+
+/// Wraps an angle difference into (-pi, pi].
+double wrap_pi(double a) {
+  constexpr double kTau = 2.0 * std::numbers::pi;
+  a = std::fmod(a, kTau);
+  if (a <= -std::numbers::pi) a += kTau;
+  if (a > std::numbers::pi) a -= kTau;
+  return a;
+}
+
+}  // namespace
+
+GaussMarkovNode::GaussMarkovNode(const MobilityConfig& cfg,
+                                 sim::RandomStream rng)
+    : cfg_(cfg), rng_(std::move(rng)) {
+  const Vec2 start{rng_.uniform(0.0, cfg_.field.width),
+                   rng_.uniform(0.0, cfg_.field.height)};
+  if (cfg_.max_speed_mps <= 0.0) {
+    seg_ = detail::static_segment(start);
+    step_end_ = sim::Time::max();
+    return;
+  }
+  mean_heading_ = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  heading_ = mean_heading_;
+  speed_ = std::max(1e-3, rng_.uniform(0.0, cfg_.max_speed_mps));
+  step_end_ = sim::Time::zero();  // start_step schedules the first step end
+  start_step(start, sim::Time::zero());
+}
+
+void GaussMarkovNode::start_step(Vec2 from, sim::Time t) {
+  // Soft boundary repulsion: inside the edge margin the target heading
+  // points at the field center, so the AR(1) drift steers nodes away from
+  // walls instead of letting them skate along the reflection boundary.
+  const double margin =
+      std::min(100.0, 0.2 * std::min(cfg_.field.width, cfg_.field.height));
+  double target = mean_heading_;
+  if (from.x < margin || from.x > cfg_.field.width - margin ||
+      from.y < margin || from.y > cfg_.field.height - margin) {
+    target = std::atan2(0.5 * cfg_.field.height - from.y,
+                        0.5 * cfg_.field.width - from.x);
+  }
+  const double a = cfg_.gm_alpha;
+  const double diffusion = std::sqrt(std::max(0.0, 1.0 - a * a));
+  heading_ += (1.0 - a) * wrap_pi(target - heading_) +
+              diffusion * rng_.normal(0.0, kHeadingSigmaRad);
+  speed_ = a * speed_ + (1.0 - a) * kMeanSpeedFrac * cfg_.max_speed_mps +
+           diffusion * rng_.normal(0.0, kSpeedSigmaFrac * cfg_.max_speed_mps);
+  speed_ = std::clamp(speed_, 0.0, cfg_.max_speed_mps);
+  const Vec2 vel{speed_ * std::cos(heading_), speed_ * std::sin(heading_)};
+  step_end_ = t + sim::seconds_f(std::max(1e-3, cfg_.gm_step_s));
+  seg_ = detail::bounce_segment(from, vel, t, step_end_, cfg_.field);
+}
+
+void GaussMarkovNode::advance_to(sim::Time t) {
+  assert(t >= last_query_ && "mobility queried backwards in time");
+  last_query_ = t;
+  while (t >= seg_.t1) {
+    const Vec2 at = detail::segment_position(seg_, seg_.t1);
+    if (seg_.wall_hit) {
+      // Keep the AR heading state consistent with the reflected velocity so
+      // the next update does not steer straight back into the wall.
+      if (speed_ > 0.0) {
+        heading_ = std::atan2(seg_.next_vel.y, seg_.next_vel.x);
+      }
+      seg_ = detail::bounce_segment(at, seg_.next_vel, seg_.t1, step_end_,
+                                    cfg_.field);
+    } else {
+      start_step(at, seg_.t1);
+    }
+  }
+}
+
+Vec2 GaussMarkovNode::position_at(sim::Time t) {
+  advance_to(t);
+  return detail::segment_position(seg_, t);
+}
+
+double GaussMarkovNode::speed_at(sim::Time t) {
+  advance_to(t);
+  return seg_.vel.norm();
+}
+
+GaussMarkovModel::GaussMarkovModel(std::size_t num_nodes,
+                                   const MobilityConfig& cfg,
+                                   const sim::RngManager& rng)
+    : cfg_(cfg) {
+  nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    nodes_.emplace_back(cfg, rng.stream("mobility-gm", i));
+  }
+}
+
+}  // namespace rica::mobility

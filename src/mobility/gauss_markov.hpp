@@ -1,0 +1,68 @@
+// Gauss-Markov mobility: speed and heading evolve as AR(1) processes with
+// memory `gm_alpha`, updated every `gm_step_s` seconds —
+//
+//   s_{n+1} = a*s_n + (1-a)*s_mean + sqrt(1-a^2) * N(0, sigma_s)
+//   h_{n+1} = h_n + (1-a)*wrap(h_target - h_n) + sqrt(1-a^2) * N(0, sigma_h)
+//
+// so alpha near 1 gives smooth, nearly ballistic motion and alpha near 0
+// approaches a memoryless walk.  h_target is the node's own preferred
+// heading except near the field edge, where it points at the field center
+// (soft repulsion); specular reflection inside a step is the hard backstop
+// that keeps nodes in bounds.  Speeds are clamped to [0, max_speed_mps], so
+// the model-level speed bound holds exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/bounce.hpp"
+#include "mobility/mobility_model.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rica::mobility {
+
+/// One node's Gauss-Markov trajectory (lazy, non-decreasing queries).
+class GaussMarkovNode {
+ public:
+  GaussMarkovNode(const MobilityConfig& cfg, sim::RandomStream rng);
+
+  [[nodiscard]] Vec2 position_at(sim::Time t);
+  [[nodiscard]] double speed_at(sim::Time t);
+
+ private:
+  void advance_to(sim::Time t);
+  void start_step(Vec2 from, sim::Time t);
+
+  MobilityConfig cfg_;
+  sim::RandomStream rng_;
+  detail::BounceSegment seg_{};
+  sim::Time step_end_ = sim::Time::zero();
+  double speed_ = 0.0;          ///< AR(1) speed state, m/s
+  double heading_ = 0.0;        ///< AR(1) heading state, radians
+  double mean_heading_ = 0.0;   ///< per-node preferred drift direction
+  sim::Time last_query_ = sim::Time::zero();
+};
+
+class GaussMarkovModel final : public MobilityModel {
+ public:
+  GaussMarkovModel(std::size_t num_nodes, const MobilityConfig& cfg,
+                   const sim::RngManager& rng);
+
+  [[nodiscard]] Vec2 position_at(std::uint32_t id, sim::Time t) override {
+    return nodes_.at(id).position_at(t);
+  }
+  [[nodiscard]] double speed_at(std::uint32_t id, sim::Time t) override {
+    return nodes_.at(id).speed_at(t);
+  }
+  [[nodiscard]] double max_speed_mps() const override {
+    return cfg_.max_speed_mps;
+  }
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
+
+ private:
+  MobilityConfig cfg_;
+  std::vector<GaussMarkovNode> nodes_;
+};
+
+}  // namespace rica::mobility

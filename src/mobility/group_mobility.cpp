@@ -1,0 +1,174 @@
+#include "mobility/group_mobility.hpp"
+
+#include "mobility/bounce.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace rica::mobility {
+
+namespace {
+
+/// Jitter radius clamped so the shrunken reference field keeps a positive
+/// area on any field size.
+double effective_radius(const MobilityConfig& cfg) {
+  return std::min(cfg.group_radius_m,
+                  0.2 * std::min(cfg.field.width, cfg.field.height));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GroupReference
+// ---------------------------------------------------------------------------
+
+GroupReference::GroupReference(const MobilityConfig& cfg, double margin_m,
+                               double max_speed_mps, sim::RandomStream rng)
+    : cfg_(cfg),
+      margin_m_(margin_m),
+      max_speed_mps_(max_speed_mps),
+      rng_(std::move(rng)) {
+  const Vec2 start{
+      rng_.uniform(margin_m_, cfg_.field.width - margin_m_),
+      rng_.uniform(margin_m_, cfg_.field.height - margin_m_)};
+  if (max_speed_mps_ <= 0.0) {
+    segs_.push_back(Seg{sim::Time::zero(), sim::Time::max(), start, Vec2{}});
+  } else {
+    // Zero-length sentinel so extend_to always has a predecessor to grow.
+    segs_.push_back(Seg{sim::Time::zero(), sim::Time::zero(), start, Vec2{}});
+  }
+}
+
+void GroupReference::extend_to(sim::Time t) {
+  while (segs_.back().t1 <= t) {
+    const Seg& last = segs_.back();
+    const Vec2 from =
+        last.origin + last.vel * (last.t1 - last.t0).seconds();
+    const Vec2 dest{
+        rng_.uniform(margin_m_, cfg_.field.width - margin_m_),
+        rng_.uniform(margin_m_, cfg_.field.height - margin_m_)};
+    const double speed = std::max(1e-3, rng_.uniform(0.0, max_speed_mps_));
+    const double dist = distance(from, dest);
+    const auto travel = detail::leg_travel(dist, speed);
+    const auto t0 = last.t1;
+    const auto t1 = t0 + travel;
+    const Vec2 vel = (dest - from) * (1.0 / travel.seconds());
+    segs_.push_back(Seg{t0, t1, from, vel});
+    if (cfg_.pause > sim::Time::zero()) {
+      segs_.push_back(Seg{t1, t1 + cfg_.pause, dest, Vec2{}});
+    }
+  }
+}
+
+const GroupReference::Seg& GroupReference::segment_for(sim::Time t) {
+  extend_to(t);
+  // First segment whose end lies beyond t.
+  const auto it = std::partition_point(
+      segs_.begin(), segs_.end(),
+      [t](const Seg& s) { return s.t1 <= t; });
+  assert(it != segs_.end());
+  return *it;
+}
+
+Vec2 GroupReference::position_at(sim::Time t) {
+  const Seg& s = segment_for(t);
+  return s.origin + s.vel * (t - s.t0).seconds();
+}
+
+Vec2 GroupReference::velocity_at(sim::Time t) {
+  return segment_for(t).vel;
+}
+
+// ---------------------------------------------------------------------------
+// GroupMemberNode
+// ---------------------------------------------------------------------------
+
+GroupMemberNode::GroupMemberNode(const MobilityConfig& cfg,
+                                 GroupReference& ref, double radius_m,
+                                 double local_max_mps, sim::RandomStream rng)
+    : cfg_(cfg),
+      ref_(ref),
+      radius_m_(radius_m),
+      local_max_mps_(local_max_mps),
+      rng_(std::move(rng)) {
+  // Initial offset uniform in the jitter disc (sqrt keeps the density flat).
+  const double r = radius_m_ * std::sqrt(rng_.uniform());
+  const double a = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  leg_origin_ = Vec2{r * std::cos(a), r * std::sin(a)};
+  if (cfg_.max_speed_mps <= 0.0 || local_max_mps_ <= 0.0) {
+    leg_vel_ = Vec2{};
+    leg_end_ = sim::Time::max();
+    return;
+  }
+  start_leg(leg_origin_, sim::Time::zero());
+}
+
+void GroupMemberNode::start_leg(Vec2 from_offset, sim::Time t) {
+  const double r = radius_m_ * std::sqrt(rng_.uniform());
+  const double a = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  const Vec2 target{r * std::cos(a), r * std::sin(a)};
+  const double speed = std::max(1e-3, rng_.uniform(0.0, local_max_mps_));
+  const double dist = distance(from_offset, target);
+  const auto travel = detail::leg_travel(dist, speed);
+  leg_origin_ = from_offset;
+  leg_vel_ = (target - from_offset) * (1.0 / travel.seconds());
+  leg_start_ = t;
+  leg_end_ = t + travel;
+}
+
+void GroupMemberNode::advance_to(sim::Time t) {
+  assert(t >= last_query_ && "mobility queried backwards in time");
+  last_query_ = t;
+  while (t >= leg_end_) {
+    start_leg(offset_at(leg_end_), leg_end_);
+  }
+}
+
+Vec2 GroupMemberNode::offset_at(sim::Time t) const {
+  return leg_origin_ + leg_vel_ * (t - leg_start_).seconds();
+}
+
+Vec2 GroupMemberNode::position_at(sim::Time t) {
+  advance_to(t);
+  const Vec2 p = ref_.position_at(t) + offset_at(t);
+  // The reference stays `radius` clear of the walls and offsets stay inside
+  // the disc, so this clamp only ever shaves sub-nanometer rounding spill.
+  return Vec2{std::clamp(p.x, 0.0, cfg_.field.width),
+              std::clamp(p.y, 0.0, cfg_.field.height)};
+}
+
+double GroupMemberNode::speed_at(sim::Time t) {
+  advance_to(t);
+  return (ref_.velocity_at(t) + leg_vel_).norm();
+}
+
+// ---------------------------------------------------------------------------
+// GroupMobilityModel
+// ---------------------------------------------------------------------------
+
+GroupMobilityModel::GroupMobilityModel(std::size_t num_nodes,
+                                       const MobilityConfig& cfg,
+                                       const sim::RngManager& rng)
+    : cfg_(cfg) {
+  const std::size_t group_size = std::max<std::size_t>(1, cfg.group_size);
+  const std::size_t num_groups =
+      num_nodes == 0 ? 0 : (num_nodes + group_size - 1) / group_size;
+  const double radius = effective_radius(cfg);
+  const double frac = std::clamp(cfg.group_speed_frac, 0.0, 1.0);
+  const double ref_max = frac * cfg.max_speed_mps;
+  const double local_max = (1.0 - frac) * cfg.max_speed_mps;
+  groups_.reserve(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    groups_.push_back(std::make_unique<GroupReference>(
+        cfg, radius, ref_max, rng.stream("mobility-group", g)));
+  }
+  nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    nodes_.emplace_back(cfg, *groups_[i / group_size], radius, local_max,
+                        rng.stream("mobility-member", i));
+  }
+}
+
+}  // namespace rica::mobility

@@ -1,0 +1,105 @@
+// RPGM (reference point group mobility): nodes are partitioned into groups
+// deterministically by id (group = id / group_size).  Each group's reference
+// point follows a random-waypoint trajectory over the field shrunk by the
+// jitter radius, at speeds up to group_speed_frac * max_speed; each member
+// wanders inside a disc of radius group_radius_m around the reference point
+// at speeds up to the remaining (1 - frac) * max_speed.  The two velocity
+// budgets sum to the model's hard speed bound, so |v_member| <= max_speed
+// holds exactly.
+//
+// Members of one group query the shared reference trajectory at interleaved,
+// possibly non-monotonic times, so the reference is *replayable*: it records
+// its waypoint legs in an append-only segment log and answers any time at or
+// before the last generated leg by binary search.  Content of the log never
+// depends on query order, preserving the pure-function-of-time contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rica::mobility {
+
+/// A group's reference-point trajectory: random waypoint over the shrunken
+/// field, replayable at arbitrary (not just non-decreasing) times.
+class GroupReference {
+ public:
+  GroupReference(const MobilityConfig& cfg, double margin_m,
+                 double max_speed_mps, sim::RandomStream rng);
+
+  [[nodiscard]] Vec2 position_at(sim::Time t);
+  [[nodiscard]] Vec2 velocity_at(sim::Time t);
+
+ private:
+  struct Seg {
+    sim::Time t0;
+    sim::Time t1;
+    Vec2 origin;
+    Vec2 vel;
+  };
+
+  void extend_to(sim::Time t);
+  [[nodiscard]] const Seg& segment_for(sim::Time t);
+
+  MobilityConfig cfg_;
+  double margin_m_;
+  double max_speed_mps_;
+  sim::RandomStream rng_;
+  std::vector<Seg> segs_;  ///< append-only, contiguous in time from t=0
+};
+
+/// One member: shared reference point plus a private in-disc jitter walk.
+class GroupMemberNode {
+ public:
+  GroupMemberNode(const MobilityConfig& cfg, GroupReference& ref,
+                  double radius_m, double local_max_mps,
+                  sim::RandomStream rng);
+
+  [[nodiscard]] Vec2 position_at(sim::Time t);
+  [[nodiscard]] double speed_at(sim::Time t);
+
+ private:
+  void advance_to(sim::Time t);
+  void start_leg(Vec2 from_offset, sim::Time t);
+  [[nodiscard]] Vec2 offset_at(sim::Time t) const;
+
+  MobilityConfig cfg_;
+  GroupReference& ref_;
+  double radius_m_;
+  double local_max_mps_;
+  sim::RandomStream rng_;
+  // Current jitter leg in the reference frame: offset moves origin -> target.
+  Vec2 leg_origin_{};
+  Vec2 leg_vel_{};
+  sim::Time leg_start_ = sim::Time::zero();
+  sim::Time leg_end_ = sim::Time::max();
+  sim::Time last_query_ = sim::Time::zero();
+};
+
+class GroupMobilityModel final : public MobilityModel {
+ public:
+  GroupMobilityModel(std::size_t num_nodes, const MobilityConfig& cfg,
+                     const sim::RngManager& rng);
+
+  [[nodiscard]] Vec2 position_at(std::uint32_t id, sim::Time t) override {
+    return nodes_.at(id).position_at(t);
+  }
+  [[nodiscard]] double speed_at(std::uint32_t id, sim::Time t) override {
+    return nodes_.at(id).speed_at(t);
+  }
+  [[nodiscard]] double max_speed_mps() const override {
+    return cfg_.max_speed_mps;
+  }
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
+
+ private:
+  MobilityConfig cfg_;
+  std::vector<std::unique_ptr<GroupReference>> groups_;
+  std::vector<GroupMemberNode> nodes_;
+};
+
+}  // namespace rica::mobility

@@ -1,0 +1,139 @@
+#include "mobility/manhattan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "mobility/bounce.hpp"
+
+namespace rica::mobility {
+
+namespace {
+constexpr int opposite(int dir) { return dir ^ 1; }
+}  // namespace
+
+ManhattanNode::ManhattanNode(const MobilityConfig& cfg, sim::RandomStream rng)
+    : cfg_(cfg), rng_(std::move(rng)) {
+  // Snap the street spacing so the lattice divides the field evenly; the
+  // lattice always includes the field edges.
+  const double spacing = std::max(1.0, cfg_.manhattan_spacing_m);
+  nx_ = std::max(1, static_cast<int>(std::llround(cfg_.field.width / spacing)));
+  ny_ =
+      std::max(1, static_cast<int>(std::llround(cfg_.field.height / spacing)));
+  sx_ = cfg_.field.width / nx_;
+  sy_ = cfg_.field.height / ny_;
+
+  // Initial placement: a uniform point on a uniformly chosen street.
+  const bool horizontal = rng_.chance(0.5);
+  Vec2 start{};
+  if (horizontal) {
+    ty_ = static_cast<int>(rng_.uniform_int(0, ny_));
+    start = Vec2{rng_.uniform(0.0, cfg_.field.width), ty_ * sy_};
+    dir_ = rng_.chance(0.5) ? 0 : 1;
+    if (dir_ == 0) {
+      tx_ = static_cast<int>(std::floor(start.x / sx_)) + 1;
+    } else {
+      tx_ = static_cast<int>(std::ceil(start.x / sx_)) - 1;
+      if (tx_ < 0) {  // placed exactly on the left edge, heading out
+        dir_ = 0;
+        tx_ = 1;
+      }
+    }
+    tx_ = std::min(tx_, nx_);
+  } else {
+    tx_ = static_cast<int>(rng_.uniform_int(0, nx_));
+    start = Vec2{tx_ * sx_, rng_.uniform(0.0, cfg_.field.height)};
+    dir_ = rng_.chance(0.5) ? 2 : 3;
+    if (dir_ == 2) {
+      ty_ = static_cast<int>(std::floor(start.y / sy_)) + 1;
+    } else {
+      ty_ = static_cast<int>(std::ceil(start.y / sy_)) - 1;
+      if (ty_ < 0) {
+        dir_ = 2;
+        ty_ = 1;
+      }
+    }
+    ty_ = std::min(ty_, ny_);
+  }
+  if (cfg_.max_speed_mps <= 0.0) {
+    origin_ = start;
+    vel_ = Vec2{};
+    seg_end_ = sim::Time::max();
+    return;
+  }
+  depart(start, sim::Time::zero());
+}
+
+Vec2 ManhattanNode::intersection(int ix, int iy) const {
+  return Vec2{ix * sx_, iy * sy_};
+}
+
+void ManhattanNode::depart(Vec2 from, sim::Time t) {
+  const Vec2 target = intersection(tx_, ty_);
+  const double speed = std::max(1e-3, rng_.uniform(0.0, cfg_.max_speed_mps));
+  const auto travel = detail::leg_travel(distance(from, target), speed);
+  origin_ = from;
+  vel_ = (target - from) * (1.0 / travel.seconds());
+  seg_start_ = t;
+  seg_end_ = t + travel;
+}
+
+void ManhattanNode::choose_next_direction() {
+  const int cx = tx_;
+  const int cy = ty_;
+  const bool can[4] = {cx < nx_, cx > 0, cy < ny_, cy > 0};
+  int perp[2];
+  int np = 0;
+  if (dir_ <= 1) {
+    if (can[2]) perp[np++] = 2;
+    if (can[3]) perp[np++] = 3;
+  } else {
+    if (can[0]) perp[np++] = 0;
+    if (can[1]) perp[np++] = 1;
+  }
+  if (np > 0 && rng_.chance(cfg_.manhattan_turn_prob)) {
+    dir_ = perp[rng_.uniform_int(0, np - 1)];
+  } else if (!can[dir_]) {
+    // Edge ahead: forced turn, or reverse in a dead end.
+    dir_ = np > 0 ? perp[rng_.uniform_int(0, np - 1)] : opposite(dir_);
+  }
+  tx_ = cx + (dir_ == 0 ? 1 : 0) - (dir_ == 1 ? 1 : 0);
+  ty_ = cy + (dir_ == 2 ? 1 : 0) - (dir_ == 3 ? 1 : 0);
+}
+
+void ManhattanNode::advance_to(sim::Time t) {
+  assert(t >= last_query_ && "mobility queried backwards in time");
+  last_query_ = t;
+  while (t >= seg_end_) {
+    // Arrive exactly on the lattice so runs never accumulate drift.
+    const Vec2 at = intersection(tx_, ty_);
+    const auto arrived = seg_end_;
+    choose_next_direction();
+    depart(at, arrived);
+  }
+}
+
+Vec2 ManhattanNode::position_at(sim::Time t) {
+  advance_to(t);
+  const Vec2 p = origin_ + vel_ * (t - seg_start_).seconds();
+  // Interpolation rounding can spill past an edge street by an ulp.
+  return Vec2{std::clamp(p.x, 0.0, cfg_.field.width),
+              std::clamp(p.y, 0.0, cfg_.field.height)};
+}
+
+double ManhattanNode::speed_at(sim::Time t) {
+  advance_to(t);
+  return vel_.norm();
+}
+
+ManhattanModel::ManhattanModel(std::size_t num_nodes,
+                               const MobilityConfig& cfg,
+                               const sim::RngManager& rng)
+    : cfg_(cfg) {
+  nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    nodes_.emplace_back(cfg, rng.stream("mobility-manhattan", i));
+  }
+}
+
+}  // namespace rica::mobility

@@ -1,0 +1,72 @@
+// Manhattan grid mobility: nodes move along a street lattice (spacing
+// `manhattan_spacing_m`, snapped so streets divide the field evenly) at a
+// per-block speed drawn from (0, max].  At every intersection a node turns
+// onto a perpendicular street with probability `manhattan_turn_prob`
+// (choosing left/right uniformly), otherwise continues straight; at the
+// field edge it turns if it can and reverses only in a dead end.  Positions
+// are recomputed from exact lattice coordinates at each intersection, so
+// trajectories cannot drift off the streets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rica::mobility {
+
+/// One node's walk over the street lattice (lazy, non-decreasing queries).
+class ManhattanNode {
+ public:
+  ManhattanNode(const MobilityConfig& cfg, sim::RandomStream rng);
+
+  [[nodiscard]] Vec2 position_at(sim::Time t);
+  [[nodiscard]] double speed_at(sim::Time t);
+
+ private:
+  // Directions: 0=+x, 1=-x, 2=+y, 3=-y.
+  void advance_to(sim::Time t);
+  void depart(Vec2 from, sim::Time t);  ///< run toward (tx_, ty_)
+  void choose_next_direction();
+  [[nodiscard]] Vec2 intersection(int ix, int iy) const;
+
+  MobilityConfig cfg_;
+  sim::RandomStream rng_;
+  int nx_ = 1;        ///< blocks per row (intersections 0..nx_)
+  int ny_ = 1;        ///< blocks per column
+  double sx_ = 0.0;   ///< snapped street spacing, x
+  double sy_ = 0.0;   ///< snapped street spacing, y
+  int dir_ = 0;
+  int tx_ = 0;        ///< target intersection of the current run
+  int ty_ = 0;
+  Vec2 origin_{};     ///< position at seg_start_
+  Vec2 vel_{};
+  sim::Time seg_start_ = sim::Time::zero();
+  sim::Time seg_end_ = sim::Time::max();
+  sim::Time last_query_ = sim::Time::zero();
+};
+
+class ManhattanModel final : public MobilityModel {
+ public:
+  ManhattanModel(std::size_t num_nodes, const MobilityConfig& cfg,
+                 const sim::RngManager& rng);
+
+  [[nodiscard]] Vec2 position_at(std::uint32_t id, sim::Time t) override {
+    return nodes_.at(id).position_at(t);
+  }
+  [[nodiscard]] double speed_at(std::uint32_t id, sim::Time t) override {
+    return nodes_.at(id).speed_at(t);
+  }
+  [[nodiscard]] double max_speed_mps() const override {
+    return cfg_.max_speed_mps;
+  }
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
+
+ private:
+  MobilityConfig cfg_;
+  std::vector<ManhattanNode> nodes_;
+};
+
+}  // namespace rica::mobility

@@ -1,0 +1,218 @@
+#include "mobility/mobility_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+#include "mobility/gauss_markov.hpp"
+#include "mobility/group_mobility.hpp"
+#include "mobility/manhattan.hpp"
+#include "mobility/random_walk.hpp"
+#include "mobility/random_waypoint.hpp"
+
+namespace rica::mobility {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string known_models_csv() {
+  std::string out;
+  for (const auto& name : known_mobility_models()) {
+    out += out.empty() ? "" : ", ";
+    out += name;
+  }
+  return out;
+}
+
+double parse_double(std::string_view key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("mobility param " + std::string(key) +
+                                ": not a number: " + value);
+  }
+}
+
+void require(bool ok, std::string_view key, std::string_view constraint) {
+  if (!ok) {
+    throw std::invalid_argument("mobility param " + std::string(key) +
+                                " must be " + std::string(constraint));
+  }
+}
+
+/// Applies one "key=value" onto cfg; keys are scoped to the selected model.
+void apply_param(MobilityConfig& cfg, const std::string& key,
+                 const std::string& value) {
+  switch (cfg.model) {
+    case ModelKind::kRandomWalk:
+      if (key == "leg") {
+        cfg.walk_leg_mean_s = parse_double(key, value);
+        require(cfg.walk_leg_mean_s > 0.0, key, "> 0");
+        return;
+      }
+      throw std::invalid_argument("unknown walk param: " + key +
+                                  " (known: leg)");
+    case ModelKind::kGaussMarkov:
+      if (key == "alpha") {
+        cfg.gm_alpha = parse_double(key, value);
+        require(cfg.gm_alpha >= 0.0 && cfg.gm_alpha < 1.0, key, "in [0, 1)");
+        return;
+      }
+      if (key == "step") {
+        cfg.gm_step_s = parse_double(key, value);
+        require(cfg.gm_step_s > 0.0, key, "> 0");
+        return;
+      }
+      throw std::invalid_argument("unknown gauss-markov param: " + key +
+                                  " (known: alpha, step)");
+    case ModelKind::kGroup:
+      if (key == "size") {
+        const double v = parse_double(key, value);
+        require(v >= 1.0 && v <= 1e9 && v == std::floor(v), key,
+                "a positive integer");
+        cfg.group_size = static_cast<std::size_t>(v);
+        return;
+      }
+      if (key == "radius") {
+        cfg.group_radius_m = parse_double(key, value);
+        require(cfg.group_radius_m > 0.0, key, "> 0");
+        return;
+      }
+      if (key == "frac") {
+        cfg.group_speed_frac = parse_double(key, value);
+        require(cfg.group_speed_frac > 0.0 && cfg.group_speed_frac < 1.0, key,
+                "in (0, 1)");
+        return;
+      }
+      throw std::invalid_argument("unknown group param: " + key +
+                                  " (known: size, radius, frac)");
+    case ModelKind::kManhattan:
+      if (key == "spacing") {
+        cfg.manhattan_spacing_m = parse_double(key, value);
+        require(cfg.manhattan_spacing_m > 0.0, key, "> 0");
+        return;
+      }
+      if (key == "turn") {
+        cfg.manhattan_turn_prob = parse_double(key, value);
+        require(cfg.manhattan_turn_prob >= 0.0 &&
+                    cfg.manhattan_turn_prob <= 1.0,
+                key, "in [0, 1]");
+        return;
+      }
+      throw std::invalid_argument("unknown manhattan param: " + key +
+                                  " (known: spacing, turn)");
+    case ModelKind::kRandomWaypoint:
+      throw std::invalid_argument("unknown waypoint param: " + key +
+                                  " (waypoint takes no params; pause and "
+                                  "speed are scenario flags)");
+  }
+  throw std::invalid_argument("unknown mobility param: " + key);
+}
+
+}  // namespace
+
+std::string_view to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kRandomWaypoint:
+      return "waypoint";
+    case ModelKind::kRandomWalk:
+      return "walk";
+    case ModelKind::kGaussMarkov:
+      return "gauss-markov";
+    case ModelKind::kGroup:
+      return "group";
+    case ModelKind::kManhattan:
+      return "manhattan";
+  }
+  return "?";
+}
+
+ModelKind model_from_string(std::string_view name) {
+  const std::string n = lower(name);
+  if (n == "waypoint" || n == "random-waypoint" || n == "rwp") {
+    return ModelKind::kRandomWaypoint;
+  }
+  if (n == "walk" || n == "random-walk" || n == "rw") {
+    return ModelKind::kRandomWalk;
+  }
+  if (n == "gauss-markov" || n == "gaussmarkov" || n == "gm") {
+    return ModelKind::kGaussMarkov;
+  }
+  if (n == "group" || n == "rpgm") return ModelKind::kGroup;
+  if (n == "manhattan" || n == "grid") return ModelKind::kManhattan;
+  throw std::invalid_argument("unknown mobility model: " + std::string(name) +
+                              " (known: " + known_models_csv() + ")");
+}
+
+const std::vector<std::string>& known_mobility_models() {
+  static const std::vector<std::string> models = {
+      "waypoint", "walk", "gauss-markov", "group", "manhattan"};
+  return models;
+}
+
+MobilityConfig parse_mobility_spec(std::string_view spec,
+                                   MobilityConfig base) {
+  const auto colon = spec.find(':');
+  base.model = model_from_string(spec.substr(0, colon));
+  if (colon == std::string_view::npos) return base;
+  std::string params(spec.substr(colon + 1));
+  std::size_t pos = 0;
+  while (pos <= params.size()) {
+    const auto comma = params.find(',', pos);
+    const std::string item = params.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? params.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("malformed mobility param (want key=value): " +
+                                  item);
+    }
+    apply_param(base, item.substr(0, eq), item.substr(eq + 1));
+  }
+  return base;
+}
+
+void MobilityModel::snapshot(sim::Time t, std::vector<Vec2>& out) {
+  out.clear();
+  const auto n = static_cast<std::uint32_t>(size());
+  out.reserve(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    out.push_back(position_at(id, t));
+  }
+}
+
+std::unique_ptr<MobilityModel> make_mobility_model(std::size_t num_nodes,
+                                                   const MobilityConfig& cfg,
+                                                   const sim::RngManager& rng) {
+  switch (cfg.model) {
+    case ModelKind::kRandomWaypoint:
+      return std::make_unique<RandomWaypointModel>(num_nodes, cfg, rng);
+    case ModelKind::kRandomWalk:
+      return std::make_unique<RandomWalkModel>(num_nodes, cfg, rng);
+    case ModelKind::kGaussMarkov:
+      return std::make_unique<GaussMarkovModel>(num_nodes, cfg, rng);
+    case ModelKind::kGroup:
+      return std::make_unique<GroupMobilityModel>(num_nodes, cfg, rng);
+    case ModelKind::kManhattan:
+      return std::make_unique<ManhattanModel>(num_nodes, cfg, rng);
+  }
+  throw std::invalid_argument("unknown mobility model kind");
+}
+
+MobilityManager::MobilityManager(std::size_t num_nodes,
+                                 const MobilityConfig& cfg,
+                                 const sim::RngManager& rng)
+    : cfg_(cfg), model_(make_mobility_model(num_nodes, cfg, rng)) {}
+
+}  // namespace rica::mobility

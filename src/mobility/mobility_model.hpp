@@ -1,0 +1,186 @@
+// Pluggable mobility subsystem: a common trajectory interface, the selectable
+// model kinds, and the model-polymorphic MobilityManager facade the rest of
+// the stack (channel, neighbor index, network) consumes.
+//
+// Every model obeys three contracts that the spatial NeighborIndex and the
+// bit-identical-equivalence tests depend on (see DESIGN.md §4):
+//
+//  1. Lazy, per-node evaluation with non-decreasing query times: querying
+//     node i at time t advances only node i's trajectory state.
+//  2. Position is a pure function of query time: position_at(id, t) returns
+//     the same bits no matter which (non-decreasing) intermediate times were
+//     queried first.  Models achieve this by evolving through constant-
+//     velocity segments whose boundaries (leg ends, AR steps, wall
+//     reflections) depend only on the trajectory itself, never on queries.
+//  3. A hard speed bound: no node's instantaneous speed ever exceeds
+//     max_speed_mps().  The neighbor index turns this into its staleness
+//     slack (a node drifts at most max_speed * epoch from a snapshot).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mobility/vec2.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rica::mobility {
+
+/// Rectangular field, meters.
+struct Field {
+  double width = 1000.0;
+  double height = 1000.0;
+
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+};
+
+/// The selectable trajectory models.
+enum class ModelKind {
+  kRandomWaypoint,  ///< the paper's model: uniform waypoints, pause on arrival
+  kRandomWalk,      ///< uniform headings, exponential leg times, reflection
+  kGaussMarkov,     ///< AR(1) speed/heading with boundary soft-repulsion
+  kGroup,           ///< RPGM: waypoint reference points + per-member jitter
+  kManhattan,       ///< street lattice with turn probabilities
+};
+
+[[nodiscard]] std::string_view to_string(ModelKind kind);
+
+/// Parses "waypoint", "walk", "gauss-markov", "group", "manhattan" (plus
+/// common aliases, case-insensitive).  Throws std::invalid_argument listing
+/// the known models for anything else.
+[[nodiscard]] ModelKind model_from_string(std::string_view name);
+
+/// All model spec names, in presentation order (for sweeps and usage text).
+[[nodiscard]] const std::vector<std::string>& known_mobility_models();
+
+/// Configuration shared by every model, plus the per-model tunables.  Only
+/// the fields of the selected `model` are read; the rest stay inert.
+struct MobilityConfig {
+  ModelKind model = ModelKind::kRandomWaypoint;
+  Field field{};
+  double max_speed_mps = 20.0;  ///< hard bound; speeds drawn from (0, max]
+  sim::Time pause = sim::seconds(3);  ///< waypoint/walk pause on arrival
+
+  // Random walk ("walk"): mean of the exponential leg duration, seconds.
+  double walk_leg_mean_s = 10.0;
+
+  // Gauss-Markov ("gauss-markov"): memory alpha in [0, 1) (1 = straight
+  // line, 0 = memoryless) and the velocity-update interval, seconds.
+  double gm_alpha = 0.85;
+  double gm_step_s = 1.0;
+
+  // RPGM group ("group"): nodes per group (deterministic assignment
+  // id / group_size), member jitter radius around the reference point, and
+  // the fraction of max_speed_mps granted to the reference point (members
+  // get the rest, so |v_ref| + |v_member| <= max_speed_mps).  The radius is
+  // clamped at model build to 20% of the shorter field side so the
+  // reference points keep a positive roaming area — radius sweeps past
+  // that cap all realize the same clamped motion.
+  std::size_t group_size = 5;
+  double group_radius_m = 100.0;
+  double group_speed_frac = 0.6;
+
+  // Manhattan grid ("manhattan"): street spacing (snapped so streets divide
+  // the field evenly) and the probability of turning at an intersection.
+  double manhattan_spacing_m = 250.0;
+  double manhattan_turn_prob = 0.25;
+};
+
+/// Parses a command-line mobility spec "model[:key=value,...]" onto `base`.
+/// Keys are model-scoped (e.g. "gauss-markov:alpha=0.9,step=0.5",
+/// "group:size=4,radius=80,frac=0.5", "walk:leg=5",
+/// "manhattan:spacing=200,turn=0.4"); unknown models or keys and
+/// out-of-range values throw std::invalid_argument with the valid choices.
+[[nodiscard]] MobilityConfig parse_mobility_spec(std::string_view spec,
+                                                 MobilityConfig base = {});
+
+/// Trajectory of a whole population under one model.  See the file comment
+/// for the three contracts every implementation upholds.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Position of node `id` at time t (non-decreasing t per node).
+  [[nodiscard]] virtual Vec2 position_at(std::uint32_t id, sim::Time t) = 0;
+
+  /// Instantaneous speed of node `id` at time t, m/s.
+  [[nodiscard]] virtual double speed_at(std::uint32_t id, sim::Time t) = 0;
+
+  /// Upper bound on any node's instantaneous speed, m/s (0 when static).
+  [[nodiscard]] virtual double max_speed_mps() const = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Batched evaluation: positions of every node at t, indexed by node id.
+  /// Deliberately non-virtual: it *is* N lazy queries, so the neighbor
+  /// index's snapshot epochs are bit-identical to per-node evaluation under
+  /// every model by construction.
+  void snapshot(sim::Time t, std::vector<Vec2>& out);
+};
+
+/// Builds the model selected by `cfg.model`, drawing per-node streams from
+/// `rng` (names are per-model, so switching models never perturbs the
+/// random sequences of other components).
+[[nodiscard]] std::unique_ptr<MobilityModel> make_mobility_model(
+    std::size_t num_nodes, const MobilityConfig& cfg,
+    const sim::RngManager& rng);
+
+/// Positions for a whole network: the model-polymorphic facade consumed by
+/// the channel, neighbor index, and network.  Owns the selected model.
+class MobilityManager {
+ public:
+  MobilityManager(std::size_t num_nodes, const MobilityConfig& cfg,
+                  const sim::RngManager& rng);
+
+  /// Position of node `id` at time t.
+  [[nodiscard]] Vec2 position(std::uint32_t id, sim::Time t) {
+    return model_->position_at(id, t);
+  }
+
+  /// Distance between two nodes at time t, meters.
+  [[nodiscard]] double node_distance(std::uint32_t a, std::uint32_t b,
+                                     sim::Time t) {
+    return distance(position(a, t), position(b, t));
+  }
+
+  /// Instantaneous speed of node `id` at time t, m/s.
+  [[nodiscard]] double speed(std::uint32_t id, sim::Time t) {
+    return model_->speed_at(id, t);
+  }
+
+  /// Batched snapshot: positions of every node at time t, indexed by node
+  /// id.  Consumers that need the whole field at an epoch (e.g. the
+  /// channel's spatial neighbor index) use this instead of N lazy queries.
+  void snapshot(sim::Time t, std::vector<Vec2>& out) {
+    model_->snapshot(t, out);
+  }
+  [[nodiscard]] std::vector<Vec2> snapshot(sim::Time t) {
+    std::vector<Vec2> out;
+    snapshot(t, out);
+    return out;
+  }
+
+  /// Upper bound on any node's instantaneous speed, m/s (0 for a static
+  /// network).  Lets spatial indexes bound how far a node can drift from a
+  /// snapshot taken `dt` ago: at most max_speed_mps() * dt meters.
+  [[nodiscard]] double max_speed_mps() const {
+    return model_->max_speed_mps();
+  }
+
+  [[nodiscard]] const MobilityConfig& config() const { return cfg_; }
+
+  [[nodiscard]] std::size_t size() const { return model_->size(); }
+
+  [[nodiscard]] MobilityModel& model() { return *model_; }
+
+ private:
+  MobilityConfig cfg_;
+  std::unique_ptr<MobilityModel> model_;
+};
+
+}  // namespace rica::mobility

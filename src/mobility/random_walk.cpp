@@ -1,0 +1,71 @@
+#include "mobility/random_walk.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace rica::mobility {
+
+RandomWalkNode::RandomWalkNode(const MobilityConfig& cfg,
+                               sim::RandomStream rng)
+    : cfg_(cfg), rng_(std::move(rng)) {
+  const Vec2 start{rng_.uniform(0.0, cfg_.field.width),
+                   rng_.uniform(0.0, cfg_.field.height)};
+  if (cfg_.max_speed_mps <= 0.0) {
+    seg_ = detail::static_segment(start);
+    leg_end_ = sim::Time::max();
+    return;
+  }
+  start_leg(start, sim::Time::zero());
+}
+
+void RandomWalkNode::start_leg(Vec2 from, sim::Time t) {
+  const double heading = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  const double speed = std::max(1e-3, rng_.uniform(0.0, cfg_.max_speed_mps));
+  const double duration_s = std::max(1e-3, rng_.exponential(cfg_.walk_leg_mean_s));
+  const Vec2 vel{speed * std::cos(heading), speed * std::sin(heading)};
+  leg_end_ = t + sim::seconds_f(duration_s);
+  seg_ = detail::bounce_segment(from, vel, t, leg_end_, cfg_.field);
+  paused_ = false;
+}
+
+void RandomWalkNode::advance_to(sim::Time t) {
+  assert(t >= last_query_ && "mobility queried backwards in time");
+  last_query_ = t;
+  while (t >= seg_.t1) {
+    const Vec2 at = detail::segment_position(seg_, seg_.t1);
+    if (seg_.wall_hit) {
+      seg_ = detail::bounce_segment(at, seg_.next_vel, seg_.t1, leg_end_,
+                                    cfg_.field);
+    } else if (!paused_ && cfg_.pause > sim::Time::zero()) {
+      paused_ = true;
+      seg_ = detail::BounceSegment{at,   Vec2{}, seg_.t1, seg_.t1 + cfg_.pause,
+                                   Vec2{}, false};
+    } else {
+      start_leg(at, seg_.t1);
+    }
+  }
+}
+
+Vec2 RandomWalkNode::position_at(sim::Time t) {
+  advance_to(t);
+  return detail::segment_position(seg_, t);
+}
+
+double RandomWalkNode::speed_at(sim::Time t) {
+  advance_to(t);
+  return seg_.vel.norm();
+}
+
+RandomWalkModel::RandomWalkModel(std::size_t num_nodes,
+                                 const MobilityConfig& cfg,
+                                 const sim::RngManager& rng)
+    : cfg_(cfg) {
+  nodes_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    nodes_.emplace_back(cfg, rng.stream("mobility-walk", i));
+  }
+}
+
+}  // namespace rica::mobility

@@ -1,0 +1,61 @@
+// Random-walk (random-direction) mobility: each node repeatedly draws a
+// uniform heading, a speed uniform in (0, max], and an exponentially
+// distributed leg duration (mean `walk_leg_mean_s`), then moves for that
+// long, reflecting specularly off the field walls.  Unlike random waypoint,
+// legs are time-bounded rather than destination-bounded, so the stationary
+// node distribution stays uniform instead of clustering at the field center.
+// After each leg the node pauses for `pause` seconds (0 = continuous).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/bounce.hpp"
+#include "mobility/mobility_model.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rica::mobility {
+
+/// One node's reflecting random walk (lazy, non-decreasing queries).
+class RandomWalkNode {
+ public:
+  RandomWalkNode(const MobilityConfig& cfg, sim::RandomStream rng);
+
+  [[nodiscard]] Vec2 position_at(sim::Time t);
+  [[nodiscard]] double speed_at(sim::Time t);
+
+ private:
+  void advance_to(sim::Time t);
+  void start_leg(Vec2 from, sim::Time t);
+
+  MobilityConfig cfg_;
+  sim::RandomStream rng_;
+  detail::BounceSegment seg_{};
+  sim::Time leg_end_ = sim::Time::zero();
+  bool paused_ = false;
+  sim::Time last_query_ = sim::Time::zero();
+};
+
+class RandomWalkModel final : public MobilityModel {
+ public:
+  RandomWalkModel(std::size_t num_nodes, const MobilityConfig& cfg,
+                  const sim::RngManager& rng);
+
+  [[nodiscard]] Vec2 position_at(std::uint32_t id, sim::Time t) override {
+    return nodes_.at(id).position_at(t);
+  }
+  [[nodiscard]] double speed_at(std::uint32_t id, sim::Time t) override {
+    return nodes_.at(id).speed_at(t);
+  }
+  [[nodiscard]] double max_speed_mps() const override {
+    return cfg_.max_speed_mps;
+  }
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
+
+ private:
+  MobilityConfig cfg_;
+  std::vector<RandomWalkNode> nodes_;
+};
+
+}  // namespace rica::mobility

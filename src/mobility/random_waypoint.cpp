@@ -5,7 +5,7 @@
 
 namespace rica::mobility {
 
-WaypointNode::WaypointNode(const WaypointConfig& cfg, sim::RandomStream rng)
+WaypointNode::WaypointNode(const MobilityConfig& cfg, sim::RandomStream rng)
     : cfg_(cfg), rng_(std::move(rng)) {
   start_ = Vec2{rng_.uniform(0.0, cfg_.field.width),
                 rng_.uniform(0.0, cfg_.field.height)};
@@ -59,41 +59,14 @@ double WaypointNode::speed_at(sim::Time t) {
   return t < leg_end_ ? leg_speed_ : 0.0;
 }
 
-MobilityManager::MobilityManager(std::size_t num_nodes,
-                                 const WaypointConfig& cfg,
-                                 const sim::RngManager& rng)
+RandomWaypointModel::RandomWaypointModel(std::size_t num_nodes,
+                                         const MobilityConfig& cfg,
+                                         const sim::RngManager& rng)
     : cfg_(cfg) {
   nodes_.reserve(num_nodes);
   for (std::size_t i = 0; i < num_nodes; ++i) {
     nodes_.emplace_back(cfg, rng.stream("mobility", i));
   }
-}
-
-Vec2 MobilityManager::position(std::uint32_t id, sim::Time t) {
-  return nodes_.at(id).position_at(t);
-}
-
-double MobilityManager::node_distance(std::uint32_t a, std::uint32_t b,
-                                      sim::Time t) {
-  return distance(position(a, t), position(b, t));
-}
-
-double MobilityManager::speed(std::uint32_t id, sim::Time t) {
-  return nodes_.at(id).speed_at(t);
-}
-
-void MobilityManager::snapshot(sim::Time t, std::vector<Vec2>& out) {
-  out.clear();
-  out.reserve(nodes_.size());
-  for (auto& node : nodes_) {
-    out.push_back(node.position_at(t));
-  }
-}
-
-std::vector<Vec2> MobilityManager::snapshot(sim::Time t) {
-  std::vector<Vec2> out;
-  snapshot(t, out);
-  return out;
 }
 
 }  // namespace rica::mobility

@@ -9,28 +9,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "mobility/mobility_model.hpp"
 #include "mobility/vec2.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
 namespace rica::mobility {
-
-/// Rectangular field, meters.
-struct Field {
-  double width = 1000.0;
-  double height = 1000.0;
-
-  [[nodiscard]] bool contains(Vec2 p) const {
-    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
-  }
-};
-
-/// Configuration for the random-waypoint process.
-struct WaypointConfig {
-  Field field{};
-  double max_speed_mps = 20.0;  ///< speeds drawn uniformly from (0, max].
-  sim::Time pause = sim::seconds(3);
-};
 
 /// Random-waypoint trajectory of a single node.
 ///
@@ -38,7 +22,7 @@ struct WaypointConfig {
 /// holds in a discrete-event simulation.
 class WaypointNode {
  public:
-  WaypointNode(const WaypointConfig& cfg, sim::RandomStream rng);
+  WaypointNode(const MobilityConfig& cfg, sim::RandomStream rng);
 
   /// Position at time t (t must not precede the previous query).
   [[nodiscard]] Vec2 position_at(sim::Time t);
@@ -50,7 +34,7 @@ class WaypointNode {
   void advance_to(sim::Time t);
   void start_new_leg(sim::Time t);
 
-  WaypointConfig cfg_;
+  MobilityConfig cfg_;
   sim::RandomStream rng_;
 
   // Current leg: travels start_ -> dest_ during [leg_start_, leg_end_],
@@ -64,40 +48,25 @@ class WaypointNode {
   sim::Time last_query_ = sim::Time::zero();
 };
 
-/// Positions for a whole network of random-waypoint nodes.
-class MobilityManager {
+/// The paper's model, ported onto the pluggable trajectory interface.
+class RandomWaypointModel final : public MobilityModel {
  public:
-  MobilityManager(std::size_t num_nodes, const WaypointConfig& cfg,
-                  const sim::RngManager& rng);
+  RandomWaypointModel(std::size_t num_nodes, const MobilityConfig& cfg,
+                      const sim::RngManager& rng);
 
-  /// Position of node `id` at time t.
-  [[nodiscard]] Vec2 position(std::uint32_t id, sim::Time t);
-
-  /// Distance between two nodes at time t, meters.
-  [[nodiscard]] double node_distance(std::uint32_t a, std::uint32_t b,
-                                     sim::Time t);
-
-  /// Instantaneous speed of node `id` at time t, m/s.
-  [[nodiscard]] double speed(std::uint32_t id, sim::Time t);
-
-  /// Batched snapshot: positions of every node at time t, indexed by node
-  /// id.  One call advances all trajectories to t; consumers that need the
-  /// whole field at an epoch (e.g. the channel's spatial neighbor index)
-  /// use this instead of N lazy per-node queries.
-  void snapshot(sim::Time t, std::vector<Vec2>& out);
-  [[nodiscard]] std::vector<Vec2> snapshot(sim::Time t);
-
-  /// Upper bound on any node's instantaneous speed, m/s (0 for a static
-  /// network).  Lets spatial indexes bound how far a node can drift from a
-  /// snapshot taken `dt` ago: at most max_speed_mps() * dt meters.
-  [[nodiscard]] double max_speed_mps() const { return cfg_.max_speed_mps; }
-
-  [[nodiscard]] const WaypointConfig& config() const { return cfg_; }
-
-  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Vec2 position_at(std::uint32_t id, sim::Time t) override {
+    return nodes_.at(id).position_at(t);
+  }
+  [[nodiscard]] double speed_at(std::uint32_t id, sim::Time t) override {
+    return nodes_.at(id).speed_at(t);
+  }
+  [[nodiscard]] double max_speed_mps() const override {
+    return cfg_.max_speed_mps;
+  }
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
 
  private:
-  WaypointConfig cfg_;
+  MobilityConfig cfg_;
   std::vector<WaypointNode> nodes_;
 };
 

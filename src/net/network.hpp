@@ -9,7 +9,7 @@
 #include "channel/channel_model.hpp"
 #include "mac/common_channel.hpp"
 #include "mac/link_transmitter.hpp"
-#include "mobility/random_waypoint.hpp"
+#include "mobility/mobility_model.hpp"
 #include "net/node.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -20,7 +20,7 @@ namespace rica::net {
 /// Everything needed to instantiate a network.
 struct NetworkConfig {
   std::size_t num_nodes = 50;
-  mobility::WaypointConfig mobility{};
+  mobility::MobilityConfig mobility{};  ///< model + field/speed/pause/params
   channel::ChannelConfig channel{};
   mac::CommonChannelConfig common_mac{};
   mac::LinkConfig link{};

@@ -8,7 +8,7 @@
 
 #include "channel/channel_model.hpp"
 #include "channel/csi.hpp"
-#include "mobility/random_waypoint.hpp"
+#include "mobility/mobility_model.hpp"
 
 namespace rica::channel {
 namespace {
@@ -52,8 +52,8 @@ class ChannelFixture : public ::testing::Test {
         mobility_(kNodes, waypoint_config(), rng_),
         channel_(ChannelConfig{}, mobility_, rng_) {}
 
-  static mobility::WaypointConfig waypoint_config() {
-    mobility::WaypointConfig cfg;
+  static mobility::MobilityConfig waypoint_config() {
+    mobility::MobilityConfig cfg;
     cfg.field = mobility::Field{1000.0, 1000.0};
     cfg.max_speed_mps = 0.0;
     return cfg;
@@ -134,7 +134,7 @@ TEST(ChannelStatistics, CloserPairsGetBetterClasses) {
   // for far pairs.  Instead, directly verify the mean-SNR path-loss model by
   // sampling many independent pairs and regressing class on distance.
   sim::RngManager rng(23);
-  mobility::WaypointConfig wp;
+  mobility::MobilityConfig wp;
   wp.field = mobility::Field{1000.0, 1000.0};
   wp.max_speed_mps = 0.0;
   mobility::MobilityManager mobility(200, wp, rng);
@@ -167,7 +167,7 @@ TEST(ChannelStatistics, CloserPairsGetBetterClasses) {
 
 TEST(ChannelStatistics, AllFourClassesOccurInRange) {
   sim::RngManager rng(29);
-  mobility::WaypointConfig wp;
+  mobility::MobilityConfig wp;
   wp.field = mobility::Field{1000.0, 1000.0};
   wp.max_speed_mps = 0.0;
   mobility::MobilityManager mobility(200, wp, rng);
@@ -187,7 +187,7 @@ TEST(ChannelStatistics, AllFourClassesOccurInRange) {
 
 TEST(ChannelDynamics, MovingPairDecorrelates) {
   sim::RngManager rng(31);
-  mobility::WaypointConfig wp;
+  mobility::MobilityConfig wp;
   wp.field = mobility::Field{300.0, 300.0};  // small field: stay in range
   wp.max_speed_mps = 10.0;
   wp.pause = sim::Time::zero();
@@ -210,7 +210,7 @@ TEST(ChannelDynamics, ShortGapSamplesAreCorrelated) {
   // Consecutive samples 1 ms apart must be nearly identical (AR(1) with a
   // tiny step), while samples 10 s apart at 10 m/s should differ visibly.
   sim::RngManager rng(37);
-  mobility::WaypointConfig wp;
+  mobility::MobilityConfig wp;
   wp.field = mobility::Field{200.0, 200.0};
   wp.max_speed_mps = 10.0;
   wp.pause = sim::Time::zero();
@@ -227,7 +227,7 @@ TEST(ChannelConfigTest, QuantizerThresholds) {
   // White-box: feed SNRs around the thresholds through a 2-node setup by
   // tweaking config so the mean SNR is pinned and disturbances are zero.
   sim::RngManager rng(41);
-  mobility::WaypointConfig wp;
+  mobility::MobilityConfig wp;
   wp.field = mobility::Field{1.0, 1.0};  // both nodes at ~the same point
   wp.max_speed_mps = 0.0;
   mobility::MobilityManager mobility(2, wp, rng);

@@ -4,6 +4,8 @@
 
 #include <array>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "harness/flags.hpp"
 #include "harness/scenario.hpp"
@@ -81,6 +83,50 @@ TEST(BenchScale, ExplicitOverridesBeatPaperScale) {
   const auto s = bench_scale(f, 3, 100.0);
   EXPECT_EQ(s.trials, 2);
   EXPECT_DOUBLE_EQ(s.sim_s, 500.0);
+}
+
+TEST(BenchScale, MobilityAndPauseDefaults) {
+  const auto f = parse({});
+  const auto s = bench_scale(f, 3, 100.0);
+  EXPECT_EQ(s.mobility, "waypoint");
+  EXPECT_DOUBLE_EQ(s.pause_s, 3.0);
+}
+
+TEST(BenchScale, MobilitySpecWithParamsParses) {
+  const auto f = parse({"--mobility", "gauss-markov:alpha=0.9,step=0.5",
+                        "--pause", "0"});
+  const auto s = bench_scale(f, 3, 100.0);
+  EXPECT_EQ(s.mobility, "gauss-markov:alpha=0.9,step=0.5");
+  EXPECT_DOUBLE_EQ(s.pause_s, 0.0);
+}
+
+TEST(BenchScale, UnknownMobilityModelFailsFastListingModels) {
+  const auto f = parse({"--mobility", "teleport"});
+  try {
+    (void)bench_scale(f, 3, 100.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("waypoint"), std::string::npos);
+    EXPECT_NE(msg.find("manhattan"), std::string::npos);
+  }
+}
+
+TEST(BenchScale, NegativePauseRejected) {
+  const auto f = parse({"--pause", "-1"});
+  EXPECT_THROW((void)bench_scale(f, 3, 100.0), std::invalid_argument);
+}
+
+TEST(ScenarioMobility, SpecFlowsIntoRunnableConfig) {
+  // A non-default spec must produce a runnable scenario (exercised end to
+  // end by the sweep tests); a bad spec must fail at scenario build time.
+  ScenarioConfig cfg;
+  cfg.mobility = "group:size=5,radius=80";
+  cfg.sim_s = 2.0;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.generated, 0u);
+  cfg.mobility = "group:radius=-4";
+  EXPECT_THROW((void)run_scenario(cfg), std::invalid_argument);
 }
 
 TEST(TableTest, AlignsColumns) {

@@ -8,7 +8,7 @@
 
 #include "mac/common_channel.hpp"
 #include "mac/link_transmitter.hpp"
-#include "mobility/random_waypoint.hpp"
+#include "mobility/mobility_model.hpp"
 #include "net/packet.hpp"
 
 namespace rica::mac {
@@ -22,8 +22,8 @@ struct World {
         mobility(n, waypoint(field_side), rng),
         channel(channel::ChannelConfig{}, mobility, rng) {}
 
-  static mobility::WaypointConfig waypoint(double side) {
-    mobility::WaypointConfig cfg;
+  static mobility::MobilityConfig waypoint(double side) {
+    mobility::MobilityConfig cfg;
     cfg.field = mobility::Field{side, side};
     cfg.max_speed_mps = 0.0;  // static
     return cfg;

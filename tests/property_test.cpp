@@ -7,7 +7,7 @@
 
 #include "channel/channel_model.hpp"
 #include "harness/scenario.hpp"
-#include "mobility/random_waypoint.hpp"
+#include "mobility/mobility_model.hpp"
 
 namespace rica {
 namespace {
@@ -110,7 +110,7 @@ class ChannelSigmaSweep : public ::testing::TestWithParam<double> {};
 TEST_P(ChannelSigmaSweep, SnrVarianceTracksConfiguredSigma) {
   const double sigma = GetParam();
   sim::RngManager rng(55);
-  mobility::WaypointConfig wp;
+  mobility::MobilityConfig wp;
   wp.field = mobility::Field{1.0, 1.0};  // co-located pairs: no path loss
   wp.max_speed_mps = 0.0;
   mobility::MobilityManager mgr(400, wp, rng);
@@ -143,7 +143,7 @@ class ChannelExponentSweep : public ::testing::TestWithParam<double> {};
 TEST_P(ChannelExponentSweep, MeanSnrFallsWithConfiguredSlope) {
   const double exponent = GetParam();
   sim::RngManager rng(56);
-  mobility::WaypointConfig wp;
+  mobility::MobilityConfig wp;
   wp.field = mobility::Field{1000.0, 1000.0};
   wp.max_speed_mps = 0.0;
   mobility::MobilityManager mgr(2, wp, rng);
@@ -172,7 +172,7 @@ class MobilitySpeedSweep : public ::testing::TestWithParam<double> {};
 TEST_P(MobilitySpeedSweep, NodesStayInFieldAndUnderSpeedLimit) {
   const double max_speed = GetParam();
   sim::RngManager rng(57);
-  mobility::WaypointConfig cfg;
+  mobility::MobilityConfig cfg;
   cfg.field = mobility::Field{1000.0, 1000.0};
   cfg.max_speed_mps = max_speed;
   mobility::MobilityManager mgr(10, cfg, rng);

@@ -1,17 +1,19 @@
 // Scale-out core: spatial neighbor-index equivalence with the brute-force
-// scan, batched mobility snapshots, hashed per-cell trial seeds, scenario
-// presets, and serial/parallel sweep determinism.
+// scan (across every mobility model), batched mobility snapshots, hashed
+// per-cell trial seeds, scenario presets, and serial/parallel sweep
+// determinism (including the mobility axis).
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "channel/channel_model.hpp"
 #include "harness/flags.hpp"
 #include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
-#include "mobility/random_waypoint.hpp"
+#include "mobility/mobility_model.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
@@ -23,7 +25,7 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TEST(MobilitySnapshot, MatchesLazyPerNodeQueries) {
-  mobility::WaypointConfig cfg;
+  mobility::MobilityConfig cfg;
   cfg.field = mobility::Field{800.0, 800.0};
   cfg.max_speed_mps = 15.0;
   // Two managers over the same seed realize identical trajectories, so the
@@ -44,7 +46,7 @@ TEST(MobilitySnapshot, MatchesLazyPerNodeQueries) {
 }
 
 TEST(MobilitySnapshot, ExposesSpeedBound) {
-  mobility::WaypointConfig cfg;
+  mobility::MobilityConfig cfg;
   cfg.max_speed_mps = 12.5;
   sim::RngManager rng(1);
   mobility::MobilityManager mgr(5, cfg, rng);
@@ -52,7 +54,7 @@ TEST(MobilitySnapshot, ExposesSpeedBound) {
 }
 
 // ---------------------------------------------------------------------------
-// Neighbor index == brute force, across randomized configurations
+// Neighbor index == brute force, across models and configurations
 // ---------------------------------------------------------------------------
 
 struct IndexCase {
@@ -61,13 +63,14 @@ struct IndexCase {
   double field_m;
   double max_speed_mps;
   double range_m;
+  const char* mobility = "waypoint";
 };
 
 class NeighborIndexEquivalence : public ::testing::TestWithParam<IndexCase> {};
 
 TEST_P(NeighborIndexEquivalence, GridMatchesBruteForceOverTime) {
   const auto p = GetParam();
-  mobility::WaypointConfig wcfg;
+  mobility::MobilityConfig wcfg = mobility::parse_mobility_spec(p.mobility);
   wcfg.field = mobility::Field{p.field_m, p.field_m};
   wcfg.max_speed_mps = p.max_speed_mps;
   sim::RngManager rng(p.seed);
@@ -85,7 +88,8 @@ TEST_P(NeighborIndexEquivalence, GridMatchesBruteForceOverTime) {
       const auto brute = channel.neighbors_of_bruteforce(node, t);
       ASSERT_EQ(indexed, brute)
           << "node " << node << " at t=" << t.seconds() << " (seed " << p.seed
-          << ", n=" << p.num_nodes << ", field=" << p.field_m << ")";
+          << ", n=" << p.num_nodes << ", field=" << p.field_m << ", mobility="
+          << p.mobility << ")";
     }
   }
   EXPECT_GE(channel.neighbor_index().rebuild_count(), 2u)
@@ -102,10 +106,30 @@ INSTANTIATE_TEST_SUITE_P(
         IndexCase{13, 120, 1000.0, 40.0, 250.0}  // dense-urban, very fast
         ));
 
-TEST(NeighborIndex, InRangeAndSampleMatchBruteChannel) {
+INSTANTIATE_TEST_SUITE_P(
+    AllMobilityModels, NeighborIndexEquivalence,
+    ::testing::Values(
+        IndexCase{19, 60, 1000.0, 25.0, 250.0, "walk"},
+        IndexCase{23, 60, 1000.0, 25.0, 250.0, "gauss-markov"},
+        IndexCase{29, 60, 1000.0, 25.0, 250.0, "group"},
+        IndexCase{31, 60, 1000.0, 25.0, 250.0, "manhattan"},
+        IndexCase{37, 40, 1414.2, 35.0, 150.0, "walk:leg=3"},
+        IndexCase{41, 40, 1414.2, 35.0, 150.0,
+                  "gauss-markov:alpha=0.2,step=0.4"},
+        IndexCase{43, 40, 1414.2, 35.0, 150.0, "group:size=4,radius=120"},
+        IndexCase{47, 40, 1414.2, 35.0, 150.0,
+                  "manhattan:spacing=150,turn=0.5"},
+        IndexCase{53, 30, 800.0, 0.0, 250.0, "group"}  // static group
+        ));
+
+class IndexedStackEquivalence
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IndexedStackEquivalence, InRangeAndSampleMatchBruteChannel) {
   // Two full stacks over identical seeds: one indexed, one brute-force.
-  // Identical query sequences must observe identical channels.
-  mobility::WaypointConfig wcfg;
+  // Identical query sequences must observe identical channels — this is
+  // what makes the index invisible to every protocol, under every model.
+  mobility::MobilityConfig wcfg = mobility::parse_mobility_spec(GetParam());
   wcfg.max_speed_mps = 20.0;
   sim::RngManager rng(99);
   mobility::MobilityManager mgr_a(40, wcfg, rng);
@@ -134,6 +158,17 @@ TEST(NeighborIndex, InRangeAndSampleMatchBruteChannel) {
   }
 }
 
+INSTANTIATE_TEST_SUITE_P(AllModels, IndexedStackEquivalence,
+                         ::testing::Values("waypoint", "walk", "gauss-markov",
+                                           "group", "manhattan"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string name(i.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
 // ---------------------------------------------------------------------------
 // Hashed per-cell trial seeds
 // ---------------------------------------------------------------------------
@@ -161,6 +196,9 @@ TEST(TrialSeed, DeterministicAndCellIndependent) {
   EXPECT_NE(harness::trial_seed(cfg, 0), harness::trial_seed(other, 0));
   other = cfg;
   other.num_nodes = 200;
+  EXPECT_NE(harness::trial_seed(cfg, 0), harness::trial_seed(other, 0));
+  other = cfg;
+  other.mobility = "gauss-markov";
   EXPECT_NE(harness::trial_seed(cfg, 0), harness::trial_seed(other, 0));
 }
 
@@ -235,6 +273,40 @@ TEST(ParallelSweep, BitIdenticalToSerial) {
   }
 }
 
+TEST(ParallelSweep, MobilityAxisBitIdenticalToSerial) {
+  // The new mobility axis must preserve the determinism guarantee: a
+  // parallel sweep over every model equals the serial enumeration.
+  harness::BenchScale serial{};
+  serial.trials = 1;
+  serial.sim_s = 2.0;
+  serial.seed = 11;
+  serial.threads = 1;
+  serial.verbose = false;
+
+  harness::BenchScale parallel = serial;
+  parallel.threads = 4;
+
+  const std::vector<double> speeds{36.0};
+  const std::vector<double> loads{10.0};
+  const auto& models = mobility::known_mobility_models();
+  const auto grid_serial =
+      harness::run_speed_sweep(speeds, loads, models, serial);
+  const auto grid_parallel =
+      harness::run_speed_sweep(speeds, loads, models, parallel);
+
+  ASSERT_EQ(grid_serial.size(), grid_parallel.size());
+  ASSERT_EQ(grid_serial.size(),
+            models.size() * speeds.size() * loads.size() *
+                harness::kAllProtocols.size());
+  for (std::size_t i = 0; i < grid_serial.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i) + " (" +
+                 grid_serial[i].mobility + ")");
+    EXPECT_EQ(grid_serial[i].protocol, grid_parallel[i].protocol);
+    EXPECT_EQ(grid_serial[i].mobility, grid_parallel[i].mobility);
+    expect_identical(grid_serial[i].result, grid_parallel[i].result);
+  }
+}
+
 TEST(ParallelSweep, UnknownPresetThrowsBeforeRunning) {
   harness::BenchScale scale{};
   scale.trials = 1;
@@ -244,6 +316,17 @@ TEST(ParallelSweep, UnknownPresetThrowsBeforeRunning) {
   scale.preset = "no-such-preset";
   EXPECT_THROW(harness::run_speed_sweep({0.0}, {10.0}, scale),
                std::invalid_argument);
+}
+
+TEST(ParallelSweep, UnknownMobilityThrowsBeforeRunning) {
+  harness::BenchScale scale{};
+  scale.trials = 1;
+  scale.sim_s = 1.0;
+  scale.seed = 1;
+  scale.verbose = false;
+  EXPECT_THROW(
+      harness::run_speed_sweep({0.0}, {10.0}, {"teleport"}, scale),
+      std::invalid_argument);
 }
 
 }  // namespace
