@@ -94,6 +94,22 @@ int main(int argc, char** argv) {
         grid, models,
         "Figure 7(c): control overhead (kbps) by mobility model" + point,
         [](const harness::ScenarioResult& r) { return r.overhead_kbps; }, 1);
+    print_mobility_figure(
+        grid, models,
+        "Figure 7(d): kernel events executed (millions, all trials) by"
+        " mobility model" + point,
+        [](const harness::ScenarioResult& r) {
+          return static_cast<double>(r.events_executed) * 1e-6;
+        },
+        2);
+    print_mobility_figure(
+        grid, models,
+        "Figure 7(e): peak pending events (worst trial) by mobility model" +
+            point,
+        [](const harness::ScenarioResult& r) {
+          return static_cast<double>(r.peak_pending_events);
+        },
+        0);
     std::cout << "Reading guide: waypoint is the paper's setting; group\n"
                  "motion keeps flows inside a neighborhood (route lifetimes\n"
                  "stretch), while Gauss-Markov and Manhattan sustain motion\n"

@@ -9,6 +9,7 @@
 #include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
 #include "mobility/mobility_model.hpp"
+#include "sim/event_engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -29,6 +30,12 @@ double field_for(std::int64_t num_nodes) {
   return 1000.0;
 }
 
+// -- event-kernel benchmarks -------------------------------------------------
+// The legacy std::function heap vs the slab-backed timing wheel, on the same
+// mixed-delay schedule/pop workload (64 events in flight, delays spread over
+// the protocol stack's 0..1 ms range).  The refactor's acceptance bar is the
+// wheel at >= 2x the heap's schedule+pop throughput (BENCH_scale.json).
+
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   sim::EventQueue q;
   sim::RandomStream rng(1);
@@ -47,9 +54,66 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
 
-void BM_SimulatorTimerChain(benchmark::State& state) {
+void BM_EventEngineScheduleAndPop(benchmark::State& state) {
+  sim::EventEngine q;
+  sim::RandomStream rng(1);
+  std::int64_t t = 0;
   for (auto _ : state) {
-    sim::Simulator sim;
+    for (int i = 0; i < 64; ++i) {
+      q.schedule(sim::Time{t + rng.uniform_int(0, 1'000'000)}, [] {});
+    }
+    for (int i = 0; i < 64; ++i) {
+      auto fired = q.fire_next();
+      t = fired.at.nanos();
+      benchmark::DoNotOptimize(fired.id);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_EventEngineScheduleAndPop);
+
+// Cancel-heavy churn: the protocol stack's Timer rearm pattern (schedule,
+// cancel, schedule again).  The heap pays a hash erase and leaks the entry
+// until it surfaces; the wheel unlinks in O(1) and recycles the slot.
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::RandomStream rng(3);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 32; ++i) {
+      const auto id =
+          q.schedule(sim::Time{t + rng.uniform_int(0, 1'000'000)}, [] {});
+      q.cancel(id);
+      q.schedule(sim::Time{t + rng.uniform_int(0, 1'000'000)}, [] {});
+    }
+    for (int i = 0; i < 32; ++i) t = q.pop().at.nanos();
+  }
+  state.SetItemsProcessed(state.iterations() * 96);
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
+void BM_EventEngineCancelChurn(benchmark::State& state) {
+  sim::EventEngine q;
+  sim::RandomStream rng(3);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 32; ++i) {
+      const auto id =
+          q.schedule(sim::Time{t + rng.uniform_int(0, 1'000'000)}, [] {});
+      q.cancel(id);
+      q.schedule(sim::Time{t + rng.uniform_int(0, 1'000'000)}, [] {});
+    }
+    for (int i = 0; i < 32; ++i) t = q.fire_next().at.nanos();
+  }
+  state.SetItemsProcessed(state.iterations() * 96);
+}
+BENCHMARK(BM_EventEngineCancelChurn);
+
+void simulator_timer_chain(benchmark::State& state,
+                           sim::EngineBackend backend) {
+  for (auto _ : state) {
+    sim::Simulator sim(backend);
     int count = 0;
     std::function<void()> tick = [&] {
       if (++count < 1000) sim.after(sim::microseconds(10), tick);
@@ -60,7 +124,16 @@ void BM_SimulatorTimerChain(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 1000);
 }
+
+void BM_SimulatorTimerChain(benchmark::State& state) {
+  simulator_timer_chain(state, sim::EngineBackend::kWheel);
+}
 BENCHMARK(BM_SimulatorTimerChain);
+
+void BM_SimulatorTimerChainLegacy(benchmark::State& state) {
+  simulator_timer_chain(state, sim::EngineBackend::kLegacyHeap);
+}
+BENCHMARK(BM_SimulatorTimerChainLegacy);
 
 void BM_MobilityPositionQuery(benchmark::State& state) {
   sim::RngManager rng(7);

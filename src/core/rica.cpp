@@ -181,7 +181,8 @@ void RicaProtocol::send_rreq(net::FlowKey flow) {
       net::kBroadcastId,
       net::RreqMsg{net::flow_src(flow), net::flow_dst(flow), bid, 0.0, 0}));
 
-  host().simulator().after(cfg_.discovery_timeout, [this, flow, bid] {
+  s.discovery_timer.arm_after(
+      host().simulator(), cfg_.discovery_timeout, [this, flow, bid] {
     auto& st = source_state(flow);
     if (!st.discovering || st.bid != bid) return;
     st.pending.purge_expired(now(), [this](const net::DataPacket& p) {
@@ -271,6 +272,7 @@ void RicaProtocol::on_rrep(const net::RrepMsg& msg, net::NodeId from) {
     s.next_hop = from;
     s.route_csi_cost = msg.csi_hops;
     s.discovering = false;
+    s.discovery_timer.cancel();
     // The first packets announce the (new) route to the relays.
     s.update_flag_until = now() + cfg_.update_flag_window;
     flush_pending(flow, s);
@@ -297,19 +299,17 @@ void RicaProtocol::on_rrep(const net::RrepMsg& msg, net::NodeId from) {
 
 void RicaProtocol::arm_checks(net::FlowKey flow) {
   auto& d = dests_[flow];
-  if (d.checks_armed) return;
-  d.checks_armed = true;
+  if (d.check_timer.armed()) return;
   d.last_data = now();
   if (d.check_period == sim::Time::zero()) d.check_period = cfg_.check_period;
-  host().simulator().after(d.check_period,
-                           [this, flow] { broadcast_check(flow); });
+  d.check_timer.arm_after(host().simulator(), d.check_period,
+                          [this, flow] { broadcast_check(flow); });
 }
 
 void RicaProtocol::broadcast_check(net::FlowKey flow) {
   auto& d = dests_[flow];
   if (now() - d.last_data > cfg_.flow_active_timeout) {
-    d.checks_armed = false;  // flow went idle; stop checking (§II-C)
-    return;
+    return;  // flow went idle; the timer stays disarmed (§II-C)
   }
   const std::uint32_t bid = d.next_check_bid++;
   history_.seen_or_insert(net::flow_dst(flow), bid, kTagCheck);
@@ -336,8 +336,8 @@ void RicaProtocol::broadcast_check(net::FlowKey flow) {
                                         nanos * 1.25)});
     d.route_changed_since_check = false;
   }
-  host().simulator().after(d.check_period,
-                           [this, flow] { broadcast_check(flow); });
+  d.check_timer.arm_after(host().simulator(), d.check_period,
+                          [this, flow] { broadcast_check(flow); });
 }
 
 void RicaProtocol::on_check(const net::CsiCheckMsg& msg, net::NodeId from) {
@@ -429,6 +429,7 @@ void RicaProtocol::close_source_window(net::FlowKey flow) {
   }
   if (s.discovering) {
     s.discovering = false;  // the checks repaired the route (§II-D case 1)
+    s.discovery_timer.cancel();
   }
   flush_pending(flow, s);
 }

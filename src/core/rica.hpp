@@ -31,6 +31,7 @@
 
 #include "routing/protocol.hpp"
 #include "routing/tables.hpp"
+#include "sim/timer.hpp"
 
 namespace rica::core {
 
@@ -111,6 +112,7 @@ class RicaProtocol final : public routing::Protocol {
     bool discovering = false;
     std::uint32_t bid = 0;
     int attempts = 0;
+    sim::Timer discovery_timer;  ///< retry deadline; cancelled on success
     routing::PendingBuffer pending;
     // CSI-check collection
     bool window_open = false;
@@ -137,7 +139,10 @@ class RicaProtocol final : public routing::Protocol {
     sim::Time cand_upstream_expiry{};
   };
   struct DestState {
-    bool checks_armed = false;
+    /// Periodic §II-C checking timer; armed() means a check is scheduled.
+    /// Goes quiet (fires once more, then stays disarmed) when the flow
+    /// idles past flow_active_timeout.
+    sim::Timer check_timer;
     std::uint32_t next_check_bid = 1;
     sim::Time last_data{};
     std::uint16_t route_hops = 4;  ///< TTL basis, refreshed by delivered data

@@ -94,6 +94,7 @@ net::NetworkConfig to_network_config(const ScenarioConfig& cfg) {
   net.mobility.pause = sim::seconds_f(cfg.pause_s);
   net.channel.range_m = cfg.radio_range_m;
   net.seed = cfg.seed;
+  net.event_backend = cfg.event_backend;
   return net;
 }
 
@@ -217,7 +218,12 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   network.start();
   traffic.start();
   network.simulator().run_until(sim::seconds_f(cfg.sim_s));
-  return network.metrics().finalize(sim::seconds_f(cfg.sim_s));
+  auto summary = network.metrics().finalize(sim::seconds_f(cfg.sim_s));
+  const auto& sim = network.simulator();
+  summary.events_executed = sim.events_executed();
+  summary.peak_pending_events = sim.peak_pending_events();
+  summary.slab_high_water = sim.slab_high_water();
+  return summary;
 }
 
 ScenarioResult average(const std::vector<ScenarioResult>& runs) {
@@ -235,6 +241,10 @@ ScenarioResult average(const std::vector<ScenarioResult>& runs) {
     avg.avg_hops += r.avg_hops / n;
     avg.control_transmissions += r.control_transmissions;
     avg.control_collisions += r.control_collisions;
+    avg.events_executed += r.events_executed;
+    avg.peak_pending_events =
+        std::max(avg.peak_pending_events, r.peak_pending_events);
+    avg.slab_high_water = std::max(avg.slab_high_water, r.slab_high_water);
     for (std::size_t i = 0; i < stats::kNumDropReasons; ++i) {
       avg.drops[i] += r.drops[i];
     }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/rica.hpp"
+#include "sim/simulator.hpp"
 #include "stats/metrics.hpp"
 
 namespace rica::harness {
@@ -46,6 +47,8 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   /// RICA tunables used when protocol == kRica (ablation studies).
   core::RicaConfig rica{};
+  /// Event core to run on (kLegacyHeap only for differential tests).
+  sim::EngineBackend event_backend = sim::EngineBackend::kWheel;
 };
 
 /// A named workload preset: the paper's baseline plus the larger/denser

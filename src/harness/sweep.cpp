@@ -72,6 +72,23 @@ std::vector<SweepPoint> run_speed_sweep(
                    cell.pkts_per_s, scale.trials, scale.sim_s);
     }
     cell.result = run_trials(cfg, scale.trials);
+    if (scale.verbose) {
+      // Kernel observability per cell: total events fired across the cell's
+      // trials, plus the worst trial's pending-event and slab high-water
+      // marks — the knobs that tell whether the event core, not the
+      // protocols, is the bottleneck at this grid point.
+      const std::scoped_lock lock(log_mu);
+      std::fprintf(stderr,
+                   "[sweep]   done %-9s %-12s speed=%5.1f: events=%llu"
+                   " peak_pending=%llu slab_hw=%llu\n",
+                   std::string(to_string(cell.protocol)).c_str(),
+                   cell.mobility.c_str(), cell.mean_speed_kmh,
+                   static_cast<unsigned long long>(cell.result.events_executed),
+                   static_cast<unsigned long long>(
+                       cell.result.peak_pending_events),
+                   static_cast<unsigned long long>(
+                       cell.result.slab_high_water));
+    }
   };
 
   const auto worker = [&] {

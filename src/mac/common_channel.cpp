@@ -40,15 +40,13 @@ void CommonChannelMac::send(net::NodeId from, net::ControlPacket pkt) {
     return;  // drop-tail: the channel is saturated
   }
   st.queue.push_back(QueuedControl{std::move(pkt), 0});
-  if (!st.transmitting && !st.attempt_pending) {
+  if (!st.transmitting && !st.attempt_timer.armed()) {
     schedule_attempt(from, sim::Time::zero());
   }
 }
 
 void CommonChannelMac::schedule_attempt(net::NodeId id, sim::Time delay) {
-  auto& st = nodes_[id];
-  st.attempt_pending = true;
-  sim_.after(delay, [this, id] { attempt(id); });
+  nodes_[id].attempt_timer.arm_after(sim_, delay, [this, id] { attempt(id); });
 }
 
 sim::Time CommonChannelMac::random_backoff(NodeState& st) {
@@ -73,7 +71,6 @@ bool CommonChannelMac::medium_busy(const NodeState& st, sim::Time now) const {
 
 void CommonChannelMac::attempt(net::NodeId id) {
   auto& st = nodes_[id];
-  st.attempt_pending = false;
   if (st.transmitting) return;  // a tx started meanwhile; re-pumped at its end
   if (st.queue.empty()) return;
   prune_heard(st, sim_.now());
@@ -108,8 +105,8 @@ void CommonChannelMac::start_tx(net::NodeId id) {
   st.heard.push_back(Interval{start, end, tx_id});
   metrics_.on_control_tx(entry.pkt.size_bytes * 8u);
 
-  sim_.at(end, [this, id, entry = std::move(entry), receivers, start, end,
-                tx_id]() mutable {
+  auto end_of_tx = [this, id, entry = std::move(entry), receivers, start, end,
+                    tx_id]() mutable {
     auto& sender = nodes_[id];
     sender.transmitting = false;
     const net::ControlPacket& pkt = entry.pkt;
@@ -147,10 +144,15 @@ void CommonChannelMac::start_tx(net::NodeId id) {
     }
 
     // Pump the sender's queue: contend again after a fresh backoff.
-    if (!nodes_[id].queue.empty() && !nodes_[id].attempt_pending) {
+    if (!nodes_[id].queue.empty() && !nodes_[id].attempt_timer.armed()) {
       schedule_attempt(id, random_backoff(nodes_[id]));
     }
-  });
+  };
+  // This is the stack's largest event closure; the engine's inline buffer is
+  // sized for it, and this is what keeps steady-state scheduling free of
+  // per-event heap allocation.
+  static_assert(sizeof(end_of_tx) <= sim::EventEngine::kInlineBytes);
+  sim_.at(end, std::move(end_of_tx));
 }
 
 }  // namespace rica::mac

@@ -27,6 +27,7 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "sim/timer.hpp"
 #include "stats/metrics.hpp"
 
 namespace rica::mac {
@@ -83,7 +84,10 @@ class CommonChannelMac {
     RxHandler handler;
     sim::RandomStream rng{0};
     bool transmitting = false;
-    bool attempt_pending = false;
+    /// The node's single CSMA contention timer: armed while a carrier-sense
+    /// attempt is scheduled (its armed() state replaces the old
+    /// attempt_pending flag).
+    sim::Timer attempt_timer;
     std::vector<Interval> heard;  ///< transmissions covering this node
   };
 

@@ -83,7 +83,7 @@ void LinkTransmitter::tx_attempt(net::NodeId neighbor) {
   const sim::Time ack_time = sim::seconds_f(cfg_.ack_bytes * 8.0 / rate);
   const auto csi = sample->csi;
 
-  sim_.after(data_time, [this, neighbor, csi, ack_time] {
+  link.timer.arm_after(sim_, data_time, [this, neighbor, csi, ack_time] {
     auto& lnk = links_[neighbor];
     if (!lnk.busy || lnk.q.empty()) return;  // link was torn down meanwhile
     if (!channel_.in_range(self_, neighbor, sim_.now())) {
@@ -99,8 +99,9 @@ void LinkTransmitter::tx_attempt(net::NodeId neighbor) {
     delivered.hops = static_cast<std::uint16_t>(delivered.hops + 1);
     delivered.tput_sum_bps += channel::throughput_bps(csi);
     if (deliver_) deliver_(std::move(delivered), neighbor);
-    // The sender frees the code once the ACK lands.
-    sim_.after(ack_time, [this, neighbor] {
+    // The sender frees the code once the ACK lands (rearming from inside
+    // the timer's own callback: the airtime event is already dead).
+    links_[neighbor].timer.arm_after(sim_, ack_time, [this, neighbor] {
       links_[neighbor].busy = false;
       pump(neighbor);
     });
@@ -114,7 +115,7 @@ void LinkTransmitter::fail(net::NodeId neighbor) {
     declare_break(neighbor);
     return;
   }
-  sim_.after(cfg_.retry_backoff, [this, neighbor] {
+  link.timer.arm_after(sim_, cfg_.retry_backoff, [this, neighbor] {
     auto& lnk = links_[neighbor];
     if (!lnk.busy) return;
     if (lnk.q.empty()) {
@@ -127,6 +128,7 @@ void LinkTransmitter::fail(net::NodeId neighbor) {
 
 void LinkTransmitter::declare_break(net::NodeId neighbor) {
   auto& link = links_[neighbor];
+  link.timer.cancel();  // O(1): whatever phase was in flight dies with the link
   std::vector<net::DataPacket> stranded;
   stranded.reserve(link.q.size());
   for (auto& q : link.q) stranded.push_back(std::move(q.pkt));

@@ -22,6 +22,7 @@
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "sim/timer.hpp"
 #include "stats/metrics.hpp"
 
 namespace rica::mac {
@@ -78,6 +79,10 @@ class LinkTransmitter {
     std::deque<Queued> q;
     bool busy = false;
     int retries = 0;
+    /// The link's single serial-server timer: at most one of {data airtime,
+    /// ACK wait, retry backoff} is ever in flight, so one slot serves all
+    /// three phases and declare_break() can kill the whole chain in O(1).
+    sim::Timer timer;
   };
 
   void pump(net::NodeId neighbor);

@@ -4,6 +4,7 @@ namespace rica::net {
 
 Network::Network(const NetworkConfig& cfg)
     : cfg_(cfg),
+      sim_(cfg.event_backend),
       rng_(cfg.seed),
       mobility_(cfg.num_nodes, cfg.mobility, rng_),
       channel_(cfg.channel, mobility_, rng_),

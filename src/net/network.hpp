@@ -25,6 +25,9 @@ struct NetworkConfig {
   mac::CommonChannelConfig common_mac{};
   mac::LinkConfig link{};
   std::uint64_t seed = 1;
+  /// Event core the simulator runs on.  kLegacyHeap exists for the
+  /// differential determinism tests; everything else uses the wheel.
+  sim::EngineBackend event_backend = sim::EngineBackend::kWheel;
 };
 
 /// Owns the full simulation stack.  Protocols are installed per node by the

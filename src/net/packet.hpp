@@ -6,6 +6,8 @@
 // in §III-A).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <variant>
 #include <vector>
@@ -240,10 +242,18 @@ struct ControlPacket {
     std::uint16_t operator()(const AodvRrepMsg&) const { return 20; }
     std::uint16_t operator()(const AodvRerrMsg&) const { return 16; }
     std::uint16_t operator()(const LsuMsg& m) const {
-      return static_cast<std::uint16_t>(12 + 5 * m.links.size());
+      // The only variable-length message: 12 header bytes plus 5 per link.
+      // A row can name every other terminal on dense large-scale topologies,
+      // so compute wide and clamp instead of silently truncating mod 2^16
+      // (the debug assert flags any scenario that actually hits the clamp).
+      const std::size_t raw = 12 + 5 * m.links.size();
+      assert(raw <= 0xFFFF && "LSU size overflows the wire-size field");
+      return static_cast<std::uint16_t>(std::min<std::size_t>(raw, 0xFFFF));
     }
   };
-  return std::visit(Sizer{}, payload);
+  const std::uint16_t size = std::visit(Sizer{}, payload);
+  assert(size > 0 && "control messages always have a positive wire size");
+  return size;
 }
 
 /// Builds a control packet with its wire size filled in.

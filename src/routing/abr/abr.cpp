@@ -55,13 +55,14 @@ void AbrProtocol::start() {
   const auto phase = sim::Time{static_cast<std::int64_t>(
       host().protocol_rng().uniform(
           0.0, static_cast<double>(cfg_.beacon_period.nanos())))};
-  host().simulator().after(phase, [this] { send_beacon(); });
+  beacon_timer_.arm_after(host().simulator(), phase, [this] { send_beacon(); });
 }
 
 void AbrProtocol::send_beacon() {
   host().send_control(
       net::make_control(net::kBroadcastId, net::AbrBeaconMsg{host().id()}));
-  host().simulator().after(cfg_.beacon_period, [this] { send_beacon(); });
+  beacon_timer_.arm_after(host().simulator(), cfg_.beacon_period,
+                          [this] { send_beacon(); });
 }
 
 void AbrProtocol::on_beacon(net::NodeId from) {
@@ -156,7 +157,8 @@ void AbrProtocol::send_bq(net::FlowKey flow) {
   msg.bid = bid;
   host().send_control(net::make_control(net::kBroadcastId, msg));
 
-  host().simulator().after(cfg_.discovery_timeout, [this, flow, bid] {
+  s.discovery_timer.arm_after(
+      host().simulator(), cfg_.discovery_timeout, [this, flow, bid] {
     auto& st = source_state(flow);
     if (!st.discovering || st.bid != bid) return;
     st.pending.purge_expired(now(), [this](const net::DataPacket& p) {
@@ -239,6 +241,7 @@ void AbrProtocol::on_reply(const net::AbrReplyMsg& msg, net::NodeId from) {
   if (msg.src == host().id()) {
     auto& s = source_state(flow);
     s.discovering = false;
+    s.discovery_timer.cancel();
     const auto expired = [this](const net::DataPacket& p) {
       host().drop_data(p, stats::DropReason::kExpired);
     };
@@ -279,8 +282,8 @@ void AbrProtocol::start_local_query(net::FlowKey flow) {
   msg.origin_hops_to_dst = e.hops_to_dst;
   host().send_control(net::make_control(net::kBroadcastId, msg));
 
-  host().simulator().after(cfg_.lq_timeout,
-                           [this, flow, bid] { finish_local_query(flow, bid); });
+  e.lq_timer.arm_after(host().simulator(), cfg_.lq_timeout,
+                       [this, flow, bid] { finish_local_query(flow, bid); });
 }
 
 void AbrProtocol::on_lq(const net::AbrLqMsg& msg, net::NodeId from) {

@@ -23,6 +23,7 @@
 
 #include "routing/protocol.hpp"
 #include "routing/tables.hpp"
+#include "sim/timer.hpp"
 
 namespace rica::routing {
 
@@ -77,12 +78,14 @@ class AbrProtocol final : public Protocol {
     std::uint16_t hops_to_dst = 0;
     bool repairing = false;
     std::uint32_t lq_bid = 0;
+    sim::Timer lq_timer;  ///< localized-query deadline for this entry
     std::vector<Candidate> lq_candidates;  // tick_sum unused; topo = join hops
   };
   struct SourceState {
     bool discovering = false;
     std::uint32_t bid = 0;
     int attempts = 0;
+    sim::Timer discovery_timer;  ///< BQ retry deadline; cancelled on reply
     PendingBuffer pending;
     explicit SourceState(const AbrConfig& cfg)
         : pending(cfg.pending_cap, cfg.pending_residency) {}
@@ -117,6 +120,7 @@ class AbrProtocol final : public Protocol {
 
   AbrConfig cfg_;
   HistoryTable history_;
+  sim::Timer beacon_timer_;  ///< the node-wide periodic beacon
   std::unordered_map<net::NodeId, Neighbor> neighbors_;
   std::unordered_map<net::FlowKey, Entry> entries_;
   std::unordered_map<net::FlowKey, SourceState> sources_;

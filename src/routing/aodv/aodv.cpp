@@ -78,7 +78,8 @@ void AodvProtocol::send_rreq(net::NodeId dst) {
   host().send_control(net::make_control(
       net::kBroadcastId, net::AodvRreqMsg{host().id(), dst, bid, 0}));
 
-  host().simulator().after(cfg_.discovery_timeout, [this, dst, bid] {
+  d.timeout.arm_after(
+      host().simulator(), cfg_.discovery_timeout, [this, dst, bid] {
     auto it = discovery_.find(dst);
     if (it == discovery_.end()) return;
     auto& disc = it->second;
@@ -175,6 +176,7 @@ void AodvProtocol::flush_pending(net::NodeId dst) {
   if (it == discovery_.end()) return;
   auto& d = it->second;
   d.in_progress = false;
+  d.timeout.cancel();
   const auto nh = next_hop(dst);
   auto fresh = d.pending.take_fresh(host().simulator().now(),
                                     [this](const net::DataPacket& p) {

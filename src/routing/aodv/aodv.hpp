@@ -15,6 +15,7 @@
 
 #include "routing/protocol.hpp"
 #include "routing/tables.hpp"
+#include "sim/timer.hpp"
 
 namespace rica::routing {
 
@@ -62,6 +63,7 @@ class AodvProtocol final : public Protocol {
     bool in_progress = false;
     std::uint32_t bid = 0;
     int attempts = 0;
+    sim::Timer timeout;  ///< RREP wait deadline; cancelled when a reply lands
     PendingBuffer pending;
     explicit Discovery(const AodvConfig& cfg)
         : pending(cfg.pending_cap, cfg.pending_residency) {}

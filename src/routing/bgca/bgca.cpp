@@ -45,7 +45,8 @@ void BgcaProtocol::start() {
   const auto phase = sim::Time{static_cast<std::int64_t>(
       host().protocol_rng().uniform(0.0,
                                     static_cast<double>(cfg_.monitor_period.nanos())))};
-  host().simulator().after(phase, [this] { monitor_links(); });
+  monitor_timer_.arm_after(host().simulator(), phase,
+                           [this] { monitor_links(); });
 }
 
 // ---------------------------------------------------------------------------
@@ -123,7 +124,8 @@ void BgcaProtocol::send_rreq(net::FlowKey flow) {
       net::kBroadcastId,
       net::RreqMsg{net::flow_src(flow), net::flow_dst(flow), bid, 0.0, 0}));
 
-  host().simulator().after(cfg_.discovery_timeout, [this, flow, bid] {
+  s.discovery_timer.arm_after(
+      host().simulator(), cfg_.discovery_timeout, [this, flow, bid] {
     auto& st = source_state(flow);
     if (!st.discovering || st.bid != bid) return;
     st.pending.purge_expired(now(), [this](const net::DataPacket& p) {
@@ -207,6 +209,7 @@ void BgcaProtocol::on_rrep(const net::RrepMsg& msg, net::NodeId from) {
   if (msg.src == host().id()) {
     auto& s = source_state(flow);
     s.discovering = false;
+    s.discovery_timer.cancel();
     flush_pending(flow);
     return;
   }
@@ -260,7 +263,8 @@ void BgcaProtocol::monitor_links() {
       e.strikes = 0;
     }
   }
-  host().simulator().after(cfg_.monitor_period, [this] { monitor_links(); });
+  monitor_timer_.arm_after(host().simulator(), cfg_.monitor_period,
+                           [this] { monitor_links(); });
 }
 
 void BgcaProtocol::start_local_query(net::FlowKey flow, bool broken) {
@@ -285,8 +289,8 @@ void BgcaProtocol::start_local_query(net::FlowKey flow, bool broken) {
   msg.origin_hops_to_dst = e.hops_to_dst;
   host().send_control(net::make_control(net::kBroadcastId, msg));
 
-  host().simulator().after(cfg_.lq_timeout,
-                           [this, flow, bid] { finish_local_query(flow, bid); });
+  e.lq_timer.arm_after(host().simulator(), cfg_.lq_timeout,
+                       [this, flow, bid] { finish_local_query(flow, bid); });
 }
 
 void BgcaProtocol::on_lq(const net::BgcaLqMsg& msg, net::NodeId from) {

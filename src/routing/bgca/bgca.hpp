@@ -18,6 +18,7 @@
 
 #include "routing/protocol.hpp"
 #include "routing/tables.hpp"
+#include "sim/timer.hpp"
 
 namespace rica::routing {
 
@@ -78,6 +79,7 @@ class BgcaProtocol final : public Protocol {
     // local repair
     bool repairing = false;
     std::uint32_t lq_bid = 0;
+    sim::Timer lq_timer;  ///< local-query deadline for this entry
     sim::Time last_lq{};
     int strikes = 0;  ///< consecutive guard violations observed
     std::vector<Candidate> lq_candidates;  // topo_hops = join's hops to dst
@@ -86,6 +88,7 @@ class BgcaProtocol final : public Protocol {
     bool discovering = false;
     std::uint32_t bid = 0;
     int attempts = 0;
+    sim::Timer discovery_timer;  ///< RREQ retry deadline; cancelled on reply
     PendingBuffer pending;
     explicit SourceState(const BgcaConfig& cfg)
         : pending(cfg.pending_cap, cfg.pending_residency) {}
@@ -119,6 +122,7 @@ class BgcaProtocol final : public Protocol {
 
   BgcaConfig cfg_;
   HistoryTable history_;
+  sim::Timer monitor_timer_;  ///< the periodic bandwidth-guard sweep
   std::unordered_map<net::FlowKey, Entry> entries_;
   std::unordered_map<net::FlowKey, SourceState> sources_;
   std::unordered_map<net::FlowKey, DestState> dests_;

@@ -29,7 +29,8 @@ void LinkStateProtocol::start() {
   const auto phase = sim::Time{static_cast<std::int64_t>(
       host().protocol_rng().uniform(
           0.0, static_cast<double>(cfg_.sense_period.nanos())))};
-  host().simulator().after(phase, [this] { sense_links(false); });
+  sense_timer_.arm_after(host().simulator(), phase,
+                         [this] { sense_links(false); });
 }
 
 void LinkStateProtocol::sense_links(bool force_flood) {
@@ -45,8 +46,8 @@ void LinkStateProtocol::sense_links(bool force_flood) {
     flood_own_row();
   }
   if (!force_flood) {
-    host().simulator().after(cfg_.sense_period,
-                             [this] { sense_links(false); });
+    sense_timer_.arm_after(host().simulator(), cfg_.sense_period,
+                           [this] { sense_links(false); });
   }
 }
 

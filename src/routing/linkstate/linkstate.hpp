@@ -21,6 +21,7 @@
 
 #include "channel/csi.hpp"
 #include "routing/protocol.hpp"
+#include "sim/timer.hpp"
 
 namespace rica::routing {
 
@@ -69,6 +70,7 @@ class LinkStateProtocol final : public Protocol {
   void on_lsu(const net::LsuMsg& msg, net::NodeId from);
 
   LinkStateConfig cfg_;
+  sim::Timer sense_timer_;  ///< the periodic link-sensing tick
   Topology view_;
   std::vector<std::uint32_t> seqs_;     ///< highest LSU seq seen per origin
   std::uint32_t own_seq_ = 0;

@@ -9,6 +9,7 @@ EventId EventQueue::schedule(Time at, Callback cb) {
   const EventId id = next_seq_++;
   heap_.push(Entry{at, id, std::move(cb)});
   pending_.insert(id);
+  if (heap_.size() > heap_peak_) heap_peak_ = heap_.size();
   return id;
 }
 

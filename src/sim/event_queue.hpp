@@ -1,4 +1,11 @@
-// Deterministic discrete-event queue.
+// The legacy deterministic discrete-event queue (reference implementation).
+//
+// This is the original std::function binary heap with hash-set lazy
+// cancellation.  The production kernel is the slab-backed timing-wheel
+// EventEngine (event_engine.hpp); this queue is kept as the differential
+// reference: the Simulator can be constructed on either backend, and tests
+// assert that full-stack runs are bit-identical across the two.  Benchmarks
+// use it as the baseline the engine's throughput is measured against.
 //
 // Events scheduled for the same instant fire in insertion order (FIFO
 // tie-breaking by a monotonically increasing sequence number), which makes
@@ -32,6 +39,9 @@ class EventQueue {
   /// unknown event is a no-op. Returns true if the event was pending.
   bool cancel(EventId id);
 
+  /// True while `id` refers to a still-pending event.
+  [[nodiscard]] bool pending(EventId id) const { return pending_.contains(id); }
+
   /// True if no pending (non-cancelled) events remain.
   [[nodiscard]] bool empty() const { return pending_.empty(); }
 
@@ -54,6 +64,10 @@ class EventQueue {
   /// Total events ever scheduled (for diagnostics and benchmarks).
   [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_; }
 
+  /// Peak heap occupancy, cancelled entries included (the legacy analogue of
+  /// the engine's slab high-water mark: both measure record memory).
+  [[nodiscard]] std::size_t heap_high_water() const { return heap_peak_; }
+
  private:
   struct Entry {
     Time at;
@@ -72,6 +86,7 @@ class EventQueue {
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_set<EventId> pending_;
   std::uint64_t next_seq_ = 0;
+  std::size_t heap_peak_ = 0;
 };
 
 }  // namespace rica::sim

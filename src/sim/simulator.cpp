@@ -1,36 +1,41 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
-#include <utility>
-
 namespace rica::sim {
 
-EventId Simulator::at(Time when, EventQueue::Callback cb) {
-  assert(when >= now_ && "cannot schedule in the past");
-  return queue_.schedule(when, std::move(cb));
-}
-
-EventId Simulator::after(Time delay, EventQueue::Callback cb) {
-  assert(delay >= Time::zero() && "negative delay");
-  return queue_.schedule(now_ + delay, std::move(cb));
-}
-
 void Simulator::run_until(Time end) {
-  while (!queue_.empty() && queue_.next_time() <= end) {
-    auto fired = queue_.pop();
-    now_ = fired.at;
-    ++events_executed_;
-    fired.cb();
+  if (use_legacy_) {
+    while (!legacy_.empty() && legacy_.next_time() <= end) {
+      auto fired = legacy_.pop();
+      now_ = fired.at;
+      ++events_executed_;
+      fired.cb();
+    }
+  } else {
+    while (!engine_.empty()) {
+      const Time t = engine_.next_time();
+      if (t > end) break;
+      now_ = t;
+      ++events_executed_;
+      engine_.fire_next();
+    }
   }
   if (end > now_) now_ = end;
 }
 
 void Simulator::run_all() {
-  while (!queue_.empty()) {
-    auto fired = queue_.pop();
-    now_ = fired.at;
-    ++events_executed_;
-    fired.cb();
+  if (use_legacy_) {
+    while (!legacy_.empty()) {
+      auto fired = legacy_.pop();
+      now_ = fired.at;
+      ++events_executed_;
+      fired.cb();
+    }
+  } else {
+    while (!engine_.empty()) {
+      now_ = engine_.next_time();
+      ++events_executed_;
+      engine_.fire_next();
+    }
   }
 }
 

@@ -1,35 +1,78 @@
 // The discrete-event simulation kernel.
 //
-// A Simulator owns the clock and the event queue.  Components schedule
+// A Simulator owns the clock and the event core.  Components schedule
 // callbacks at absolute times or after relative delays; run_until() drains
 // events in timestamp order, advancing the clock monotonically.
+//
+// Two interchangeable backends exist: the production slab-backed timing
+// wheel (EventEngine) and the legacy std::function heap (EventQueue), kept
+// as a differential reference.  Both pop in exact (timestamp, schedule-seq)
+// order, so runs are bit-identical across backends for a fixed seed — the
+// event_engine test suite asserts this over the full protocol stack.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <utility>
 
+#include "sim/event_engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace rica::sim {
 
-/// Discrete-event simulation kernel: clock + event queue + run loop.
+/// Which event core a Simulator runs on.
+enum class EngineBackend : std::uint8_t {
+  kWheel,       ///< slab + four-rung timing wheel (production)
+  kLegacyHeap,  ///< std::function binary heap (differential reference)
+};
+
+/// Discrete-event simulation kernel: clock + event core + run loop.
 class Simulator {
  public:
-  Simulator() = default;
+  explicit Simulator(EngineBackend backend = EngineBackend::kWheel)
+      : use_legacy_(backend == EngineBackend::kLegacyHeap) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulation time.
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedules `cb` at absolute time `at` (must not precede now()).
-  EventId at(Time when, EventQueue::Callback cb);
+  [[nodiscard]] EngineBackend backend() const {
+    return use_legacy_ ? EngineBackend::kLegacyHeap : EngineBackend::kWheel;
+  }
 
-  /// Schedules `cb` after a non-negative relative `delay`.
-  EventId after(Time delay, EventQueue::Callback cb);
+  /// Schedules `fn` at absolute time `when` (must not precede now()).
+  template <typename F>
+  EventId at(Time when, F&& fn) {
+    assert(when >= now_ && "cannot schedule in the past");
+    const EventId id = use_legacy_
+                           ? legacy_.schedule(when, std::forward<F>(fn))
+                           : engine_.schedule(when, std::forward<F>(fn));
+    note_scheduled();
+    return id;
+  }
+
+  /// Schedules `fn` after a non-negative relative `delay`.
+  template <typename F>
+  EventId after(Time delay, F&& fn) {
+    assert(delay >= Time::zero() && "negative delay");
+    const EventId id =
+        use_legacy_ ? legacy_.schedule(now_ + delay, std::forward<F>(fn))
+                    : engine_.schedule(now_ + delay, std::forward<F>(fn));
+    note_scheduled();
+    return id;
+  }
 
   /// Cancels a pending event; no-op if it already fired.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) {
+    return use_legacy_ ? legacy_.cancel(id) : engine_.cancel(id);
+  }
+
+  /// True while `id` refers to a still-pending event.
+  [[nodiscard]] bool pending(EventId id) const {
+    return use_legacy_ ? legacy_.pending(id) : engine_.pending(id);
+  }
 
   /// Runs events with timestamp <= `end`, then sets the clock to `end`.
   void run_until(Time end);
@@ -38,18 +81,40 @@ class Simulator {
   /// re-arm themselves never drain; prefer run_until()).
   void run_all();
 
+  // -- kernel observability ---------------------------------------------------
   /// Number of events executed so far.
   [[nodiscard]] std::uint64_t events_executed() const {
     return events_executed_;
   }
 
   /// Number of pending events (for tests/diagnostics).
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_events() const {
+    return use_legacy_ ? legacy_.size() : engine_.size();
+  }
+
+  /// Maximum simultaneously pending events seen so far.
+  [[nodiscard]] std::size_t peak_pending_events() const {
+    return peak_pending_;
+  }
+
+  /// Event-record memory high-water mark: slots in use for the wheel
+  /// backend, heap entries (cancelled included) for the legacy backend.
+  [[nodiscard]] std::size_t slab_high_water() const {
+    return use_legacy_ ? legacy_.heap_high_water() : engine_.slab_high_water();
+  }
 
  private:
-  EventQueue queue_;
+  void note_scheduled() {
+    const std::size_t n = pending_events();
+    if (n > peak_pending_) peak_pending_ = n;
+  }
+
+  EventEngine engine_;
+  EventQueue legacy_;
+  bool use_legacy_ = false;
   Time now_ = Time::zero();
   std::uint64_t events_executed_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 }  // namespace rica::sim

@@ -67,6 +67,12 @@ struct MetricsSummary {
   std::uint64_t control_collisions = 0;
   std::vector<double> tput_kbps_series;
   std::map<std::string, std::uint64_t> counters;  ///< protocol diagnostics
+  // Kernel observability, filled by the harness from the Simulator after the
+  // run.  Across trials, events_executed accumulates (total kernel work) and
+  // the two high-water marks keep the per-trial maximum.
+  std::uint64_t events_executed = 0;       ///< events fired by the kernel
+  std::uint64_t peak_pending_events = 0;   ///< max simultaneously pending
+  std::uint64_t slab_high_water = 0;       ///< max event records in use
 };
 
 /// Event sink wired into the node/MAC layers.  One collector per run.

@@ -35,6 +35,7 @@ PoissonTraffic::PoissonTraffic(net::Network& network, std::vector<Flow> flows,
     : network_(network),
       flows_(std::move(flows)),
       next_seq_(flows_.size(), 0),
+      arrival_timers_(flows_.size()),
       packet_bytes_(packet_bytes),
       stop_(stop),
       rng_(std::move(rng)) {}
@@ -48,7 +49,7 @@ void PoissonTraffic::schedule_next(std::size_t flow_idx) {
   const double gap_s = rng_.exponential(1.0 / flow.pkts_per_s);
   const sim::Time at = network_.simulator().now() + sim::seconds_f(gap_s);
   if (at >= stop_) return;
-  network_.simulator().at(at, [this, flow_idx] {
+  arrival_timers_[flow_idx].arm_at(network_.simulator(), at, [this, flow_idx] {
     const Flow& f = flows_[flow_idx];
     net::DataPacket pkt;
     pkt.flow = f.id;

@@ -10,6 +10,7 @@
 #include "net/packet.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
+#include "sim/timer.hpp"
 
 namespace rica::traffic {
 
@@ -46,6 +47,7 @@ class PoissonTraffic {
   net::Network& network_;
   std::vector<Flow> flows_;
   std::vector<std::uint32_t> next_seq_;
+  std::vector<sim::Timer> arrival_timers_;  ///< one pending arrival per flow
   std::uint16_t packet_bytes_;
   sim::Time stop_;
   sim::RandomStream rng_;

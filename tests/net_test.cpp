@@ -42,6 +42,17 @@ TEST(ControlSizes, LsuGrowsWithAdjacency) {
   EXPECT_LT(control_size_bytes(small), control_size_bytes(big));
 }
 
+TEST(ControlSizes, DenseLsuStaysExactWithinTheWireField) {
+  // A 500-terminal row (the large-scale preset's worst case, far past the
+  // old uint16 truncation hazard's comfort zone) must size exactly, not
+  // wrap: 12 + 5 * 500 = 2512.
+  LsuMsg dense;
+  for (NodeId i = 0; i < 500; ++i) {
+    dense.links.emplace_back(i, channel::CsiClass::D);
+  }
+  EXPECT_EQ(control_size_bytes(dense), 2512);
+}
+
 TEST(MakeControl, FillsSizeAndTarget) {
   const auto pkt = make_control(7, ReerMsg{1, 2, 3});
   EXPECT_EQ(pkt.to, 7u);

@@ -1,13 +1,18 @@
 // Unit tests for the discrete-event kernel: time arithmetic, event ordering,
-// FIFO tie-breaking, cancellation, and RNG stream independence.
+// FIFO tie-breaking, cancellation, RAII timers, and RNG stream independence.
+// The EventQueue cases cover the legacy heap backend (kept as the wheel's
+// differential reference); EventEngine-specific cases live in
+// event_engine_test.cpp.
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
+#include "sim/timer.hpp"
 
 namespace rica::sim {
 namespace {
@@ -138,6 +143,103 @@ TEST(Simulator, CountsExecutedEvents) {
   for (int i = 0; i < 7; ++i) sim.after(milliseconds(i), [] {});
   sim.run_until(seconds(1));
   EXPECT_EQ(sim.events_executed(), 7u);
+  EXPECT_EQ(sim.peak_pending_events(), 7u);
+  EXPECT_GE(sim.slab_high_water(), 7u);
+}
+
+TEST(Simulator, ScheduleAfterShortRunUntilStaysExact) {
+  // run_until() peeks next_time(), which may harvest wheel buckets far past
+  // the run horizon.  Scheduling between the horizon and that harvested
+  // tick must still be legal and fire in exact time order (regression:
+  // this used to trip the engine's internal monotonicity assert).
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(seconds(1), [&] { order.push_back(2); });
+  sim.run_until(milliseconds(1));  // peeks the 1 s event, fires nothing
+  EXPECT_TRUE(order.empty());
+  sim.after(milliseconds(1), [&] { order.push_back(1); });
+  sim.run_until(seconds(2));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, LegacyBackendBehavesIdentically) {
+  for (const auto backend :
+       {EngineBackend::kWheel, EngineBackend::kLegacyHeap}) {
+    Simulator sim(backend);
+    std::vector<int> order;
+    sim.after(milliseconds(10), [&] { order.push_back(2); });
+    sim.after(milliseconds(5), [&] { order.push_back(1); });
+    const EventId id = sim.after(milliseconds(7), [&] { order.push_back(9); });
+    EXPECT_TRUE(sim.pending(id));
+    EXPECT_TRUE(sim.cancel(id));
+    EXPECT_FALSE(sim.pending(id));
+    sim.run_until(seconds(1));
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(sim.events_executed(), 2u);
+  }
+}
+
+TEST(Timer, FiresWhenArmed) {
+  Simulator sim;
+  Timer timer;
+  int fired = 0;
+  timer.arm_after(sim, milliseconds(5), [&] { ++fired; });
+  EXPECT_TRUE(timer.armed());
+  sim.run_until(seconds(1));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(Timer, RearmReplacesThePendingEvent) {
+  Simulator sim;
+  Timer timer;
+  std::vector<int> order;
+  timer.arm_after(sim, milliseconds(5), [&] { order.push_back(1); });
+  timer.arm_after(sim, milliseconds(9), [&] { order.push_back(2); });
+  sim.run_until(seconds(1));
+  EXPECT_EQ(order, (std::vector<int>{2}));  // the first arm was cancelled
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Timer, CancelAndDestructionStopTheEvent) {
+  Simulator sim;
+  int fired = 0;
+  Timer cancelled;
+  cancelled.arm_after(sim, milliseconds(5), [&] { ++fired; });
+  EXPECT_TRUE(cancelled.cancel());
+  EXPECT_FALSE(cancelled.cancel());  // second cancel is a no-op
+  {
+    Timer scoped;
+    scoped.arm_after(sim, milliseconds(6), [&] { ++fired; });
+  }  // RAII: going out of scope cancels the pending event
+  sim.run_until(seconds(1));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, PeriodicRearmFromOwnCallback) {
+  Simulator sim;
+  Timer timer;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    if (++ticks < 4) timer.arm_after(sim, milliseconds(10), tick);
+  };
+  timer.arm_after(sim, milliseconds(10), tick);
+  sim.run_until(seconds(1));
+  EXPECT_EQ(ticks, 4);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(Timer, MoveTransfersOwnership) {
+  Simulator sim;
+  int fired = 0;
+  Timer a;
+  a.arm_after(sim, milliseconds(5), [&] { ++fired; });
+  Timer b = std::move(a);
+  EXPECT_FALSE(a.armed());  // NOLINT(bugprone-use-after-move): post-move state
+  EXPECT_TRUE(b.armed());
+  a = std::move(b);  // moving back; destroying b must not cancel
+  sim.run_until(seconds(1));
+  EXPECT_EQ(fired, 1);
 }
 
 TEST(Random, UniformWithinBounds) {
