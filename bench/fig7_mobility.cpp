@@ -5,10 +5,15 @@
 // all five protocols under all five mobility models at one speed/load point
 // and tabulates delivery, delay, and overhead per model.
 //
-// Flags: common scale flags (see bench_scale), plus
+// Flags: common scale flags (see bench_scale, including --warmup), plus
 //   --speed KMH   mean speed of the comparison point (default 36)
 //   --rate PKTS   offered load per flow (default 10)
-//   --models CSV  mobility specs to compare (default: all five)
+//   --models CSV  mobility specs to compare (default: all five synthetic
+//                 models; note `trace:file=PATH` specs contain no comma, so
+//                 they compose with this list)
+//   --trace FILE  shorthand appending `trace:file=FILE` to the model list,
+//                 putting a replayed real-world trace next to the synthetic
+//                 models in the same table
 #include <exception>
 #include <functional>
 #include <iostream>
@@ -76,6 +81,9 @@ int main(int argc, char** argv) {
       models = {scale.mobility};
     } else {
       models = mobility::known_mobility_models();
+    }
+    if (flags.has("trace")) {
+      models.push_back("trace:file=" + flags.get("trace", std::string{}));
     }
 
     const auto grid = run_speed_sweep({speed}, {rate}, models, scale);

@@ -1,10 +1,17 @@
 // Quickstart: run one RICA scenario at the paper's parameters and print the
-// §III metrics.  Try `--protocol aodv --mean-speed 72` to compare.
+// §III metrics.  Try `--protocol aodv --mean-speed 72` to compare, or
+// `--mobility manhattan --warmup 20` to change the motion and skip the
+// transient.  `--record-trace FILE` records this scenario's exact mobility
+// realization as a BonnMotion trace (`--trace-dt` sets the sample interval);
+// replay it with `--mobility trace:file=FILE`.
 #include <cstdio>
 #include <exception>
+#include <string>
 
 #include "harness/flags.hpp"
 #include "harness/scenario.hpp"
+#include "mobility/trace.hpp"
+#include "sim/random.hpp"
 
 int main(int argc, char** argv) {
   using namespace rica;
@@ -16,14 +23,33 @@ int main(int argc, char** argv) {
     cfg.mean_speed_kmh = flags.get("mean-speed", 36.0);
     cfg.pkts_per_s = flags.get("rate", 10.0);
     cfg.sim_s = flags.get("sim-time", 60.0);
+    cfg.warmup_s = flags.get("warmup", 0.0);
+    cfg.mobility = flags.get("mobility", cfg.mobility);
     cfg.seed = flags.get("seed", static_cast<std::uint64_t>(1));
 
     std::printf("protocol=%s  nodes=%zu  field=%.0fm  mean speed=%.1f km/h\n",
                 std::string(harness::to_string(cfg.protocol)).c_str(),
                 cfg.num_nodes, cfg.field_m, cfg.mean_speed_kmh);
-    std::printf("flows=%zu x %.0f pkt/s x %u B, sim time=%.0f s, seed=%llu\n\n",
+    std::printf("flows=%zu x %.0f pkt/s x %u B, sim time=%.0f s, seed=%llu\n",
                 cfg.num_pairs, cfg.pkts_per_s, cfg.packet_bytes, cfg.sim_s,
                 static_cast<unsigned long long>(cfg.seed));
+    std::printf("mobility=%s  warmup=%.0f s\n\n", cfg.mobility.c_str(),
+                cfg.warmup_s);
+
+    if (flags.has("record-trace")) {
+      // Rebuild the run's mobility realization (same seed -> same named RNG
+      // streams -> identical trajectories) and record it for replay.
+      const auto path = flags.get("record-trace", std::string{});
+      const auto mob = harness::scenario_mobility_config(cfg);
+      const sim::RngManager rng(cfg.seed);
+      const auto model = mobility::make_mobility_model(cfg.num_nodes, mob, rng);
+      const auto dt = sim::seconds_f(flags.get("trace-dt", 1.0));
+      mobility::write_bonnmotion_trace(*model, sim::seconds_f(cfg.sim_s), dt,
+                                       path);
+      std::printf("recorded mobility to %s; replay with"
+                  " --mobility trace:file=%s\n\n",
+                  path.c_str(), path.c_str());
+    }
 
     const auto r = harness::run_scenario(cfg);
 

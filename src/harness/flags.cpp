@@ -1,8 +1,10 @@
 #include "harness/flags.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
+#include "harness/scenario.hpp"
 #include "mobility/mobility_model.hpp"
 
 namespace rica::harness {
@@ -88,6 +90,23 @@ BenchScale bench_scale(const Flags& flags, int def_trials, double def_sim_s) {
   scale.pause_s = flags.get("pause", scale.pause_s);
   if (scale.pause_s < 0.0) {
     throw std::invalid_argument("--pause must be >= 0 seconds");
+  }
+  // Warmup: explicit flag wins (validated so the whole run never warms up);
+  // otherwise the preset's default, capped at 20% of the simulated time so
+  // short smoke runs still keep a measurement window.  The preset lookup
+  // also front-loads the unknown-preset error before any cell runs.
+  const ScenarioPreset& preset = find_preset(scale.preset);
+  if (flags.has("warmup")) {
+    scale.warmup_s = flags.get("warmup", 0.0);
+    if (scale.warmup_s < 0.0) {
+      throw std::invalid_argument("--warmup must be >= 0 seconds");
+    }
+    if (scale.warmup_s >= scale.sim_s) {
+      throw std::invalid_argument(
+          "--warmup must leave a measurement window (< --sim-time)");
+    }
+  } else {
+    scale.warmup_s = std::min(preset.warmup_s, 0.2 * scale.sim_s);
   }
   return scale;
 }

@@ -47,9 +47,14 @@ class Flags {
 ///   --preset NAME     scenario preset: paper, dense-urban, sparse-rural,
 ///                     large-scale (see scenario_presets())
 ///   --mobility SPEC   mobility model "model[:k=v,...]": waypoint, walk,
-///                     gauss-markov, group, manhattan (validated here so a
-///                     typo fails before any cell runs)
+///                     gauss-markov, group, manhattan, trace:file=PATH
+///                     (validated here so a typo fails before any cell runs)
 ///   --pause S         pause on arrival, seconds (waypoint/walk legs)
+///   --warmup S        measurement warmup, seconds: metrics reset once at
+///                     t = S and report over (S, sim end].  Defaults to the
+///                     preset's warmup capped at 20% of --sim-time; pass
+///                     --warmup 0 to measure the whole run (bit-identical
+///                     to the pre-warmup harness).
 struct BenchScale {
   int trials;
   double sim_s;
@@ -58,6 +63,7 @@ struct BenchScale {
   std::string preset = "paper";
   std::string mobility = "waypoint";
   double pause_s = 3.0;       ///< the paper's §III-A default
+  double warmup_s = 0.0;      ///< resolved warmup (explicit or preset cap)
   bool verbose = true;        ///< per-cell progress notes on stderr
 };
 [[nodiscard]] BenchScale bench_scale(const Flags& flags, int def_trials,

@@ -51,28 +51,24 @@ ProtocolKind protocol_from_string(std::string_view name) {
 const std::vector<ScenarioPreset>& scenario_presets() {
   // Areas: paper/dense-urban 1 km², sparse-rural 2 km², large-scale 3 km².
   // Traffic pairs scale with population (the paper's 10 pairs per 50 nodes).
+  // Warmup defaults scale with the field crossing time (the random-waypoint
+  // speed transient decays over a few crossings at the mean speed).
   static const std::vector<ScenarioPreset> presets = {
       {"paper", "the paper's §III-A setting: 50 nodes / 1 km²", 50, 1000.0,
-       10},
+       10, 20.0},
       {"dense-urban", "200 nodes / 1 km²: contention-heavy city block", 200,
-       1000.0, 40},
+       1000.0, 40, 20.0},
       {"sparse-rural", "25 nodes / 2 km²: partition-prone countryside", 25,
-       1414.2, 5},
+       1414.2, 5, 30.0},
       {"large-scale", "500 nodes / 3 km²: stress the scale-out path", 500,
-       1732.1, 100},
+       1732.1, 100, 30.0},
   };
   return presets;
 }
 
-ScenarioConfig preset_config(std::string_view name) {
+const ScenarioPreset& find_preset(std::string_view name) {
   for (const auto& preset : scenario_presets()) {
-    if (preset.name == name) {
-      ScenarioConfig cfg;
-      cfg.num_nodes = preset.num_nodes;
-      cfg.field_m = preset.field_m;
-      cfg.num_pairs = preset.num_pairs;
-      return cfg;
-    }
+    if (preset.name == name) return preset;
   }
   std::string known;
   for (const auto& preset : scenario_presets()) {
@@ -83,15 +79,29 @@ ScenarioConfig preset_config(std::string_view name) {
                               " (known: " + known + ")");
 }
 
+ScenarioConfig preset_config(std::string_view name) {
+  const ScenarioPreset& preset = find_preset(name);
+  ScenarioConfig cfg;
+  cfg.num_nodes = preset.num_nodes;
+  cfg.field_m = preset.field_m;
+  cfg.num_pairs = preset.num_pairs;
+  return cfg;
+}
+
+mobility::MobilityConfig scenario_mobility_config(const ScenarioConfig& cfg) {
+  mobility::MobilityConfig mob = mobility::parse_mobility_spec(cfg.mobility);
+  mob.field = mobility::Field{cfg.field_m, cfg.field_m};
+  mob.max_speed_mps = 2.0 * cfg.mean_speed_kmh / 3.6;
+  mob.pause = sim::seconds_f(cfg.pause_s);
+  return mob;
+}
+
 namespace {
 
 net::NetworkConfig to_network_config(const ScenarioConfig& cfg) {
   net::NetworkConfig net;
   net.num_nodes = cfg.num_nodes;
-  net.mobility = mobility::parse_mobility_spec(cfg.mobility);
-  net.mobility.field = mobility::Field{cfg.field_m, cfg.field_m};
-  net.mobility.max_speed_mps = 2.0 * cfg.mean_speed_kmh / 3.6;
-  net.mobility.pause = sim::seconds_f(cfg.pause_s);
+  net.mobility = scenario_mobility_config(cfg);
   net.channel.range_m = cfg.radio_range_m;
   net.seed = cfg.seed;
   net.event_backend = cfg.event_backend;
@@ -208,8 +218,32 @@ std::vector<traffic::Flow> connected_flows(net::Network& network,
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  if (cfg.warmup_s < 0.0) {
+    throw std::invalid_argument("warmup must be >= 0 seconds");
+  }
+  if (cfg.warmup_s > 0.0 && cfg.warmup_s >= cfg.sim_s) {
+    throw std::invalid_argument(
+        "warmup (" + std::to_string(cfg.warmup_s) +
+        " s) must leave a measurement window before sim end (" +
+        std::to_string(cfg.sim_s) + " s)");
+  }
   net::Network network(to_network_config(cfg));
   install_protocols(network, cfg);
+  if (cfg.warmup_s > 0.0) {
+    // One epoch-reset event ends the transient; it never reorders the rest
+    // of the run, so a warmed-up run executes the exact event stream of a
+    // cold one plus this event.  It fires one nanosecond *after* w: being
+    // scheduled before network/traffic start it holds the lowest tie-break
+    // sequence at its timestamp, so at w it would zero *before* same-tick
+    // events and count them in the window — at w+1ns (timestamps are whole
+    // nanoseconds) everything at t <= w is pre-warmup and the measured
+    // window is exactly (w, sim_s], matching a cold run's post-w deltas.
+    // The epoch start is stamped with the nominal w for rate normalization.
+    const sim::Time w = sim::seconds_f(cfg.warmup_s);
+    network.simulator().at(w + sim::Time{1}, [&network, w] {
+      network.metrics().reset_epoch(w);
+    });
+  }
 
   auto flows = connected_flows(network, cfg);
   traffic::PoissonTraffic traffic(network, std::move(flows), cfg.packet_bytes,
@@ -248,6 +282,13 @@ ScenarioResult average(const std::vector<ScenarioResult>& runs) {
     for (std::size_t i = 0; i < stats::kNumDropReasons; ++i) {
       avg.drops[i] += r.drops[i];
     }
+    // Trial hashes fold in trial order: the aggregate is itself a golden
+    // fingerprint of the whole multi-trial cell.
+    avg.stream_hash = stats::fnv1a(avg.stream_hash == 0
+                                       ? stats::kFnvOffsetBasis
+                                       : avg.stream_hash,
+                                   r.stream_hash);
+    avg.measure_start = std::max(avg.measure_start, r.measure_start);
     series_len = std::max(series_len, r.tput_kbps_series.size());
   }
   avg.tput_kbps_series.assign(series_len, 0.0);
@@ -297,6 +338,12 @@ std::uint64_t trial_seed(const ScenarioConfig& cfg, int trial) {
       h = mix(h, static_cast<std::uint64_t>(mob.model));
       h = mix(h, std::bit_cast<std::uint64_t>(mob.manhattan_spacing_m));
       h = mix(h, std::bit_cast<std::uint64_t>(mob.manhattan_turn_prob));
+      break;
+    case mobility::ModelKind::kTrace:
+      h = mix(h, static_cast<std::uint64_t>(mob.model));
+      for (const char c : mob.trace_file) {
+        h = mix(h, static_cast<std::uint64_t>(c));
+      }
       break;
   }
   h = mix(h, static_cast<std::uint64_t>(trial));

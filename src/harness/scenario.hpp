@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/rica.hpp"
+#include "mobility/mobility_model.hpp"
 #include "sim/simulator.hpp"
 #include "stats/metrics.hpp"
 
@@ -44,6 +45,11 @@ struct ScenarioConfig {
   double pkts_per_s = 10.0;
   std::uint16_t packet_bytes = 512;
   double sim_s = 100.0;
+  /// Measurement warmup, seconds: metrics reset once at t = warmup_s (a
+  /// single epoch-reset event, so the event stream is identical to a
+  /// warmup-free run) and rates are reported over (warmup_s, sim_s].  0
+  /// measures the whole run, bit-identical to the pre-warmup harness.
+  double warmup_s = 0.0;
   std::uint64_t seed = 1;
   /// RICA tunables used when protocol == kRica (ablation studies).
   core::RicaConfig rica{};
@@ -60,14 +66,35 @@ struct ScenarioPreset {
   std::size_t num_nodes;
   double field_m;
   std::size_t num_pairs;
+  /// Default measurement warmup for the preset, seconds: long enough for
+  /// the mobility transient (random-waypoint's speed decay scales with the
+  /// field crossing time) and route discovery to settle.  bench_scale caps
+  /// it at 20% of the simulated time so short smoke runs keep a window.
+  double warmup_s;
 };
 
 /// All built-in presets: paper, dense-urban, sparse-rural, large-scale.
 [[nodiscard]] const std::vector<ScenarioPreset>& scenario_presets();
 
+/// The named preset; throws std::invalid_argument (listing the known
+/// presets) for unknown names.
+[[nodiscard]] const ScenarioPreset& find_preset(std::string_view name);
+
 /// A ScenarioConfig with the named preset's population applied over the
 /// paper's defaults.  Throws std::invalid_argument for unknown names.
+/// The preset's default warmup is *not* applied here — the bench flags
+/// decide the measurement window (see bench_scale) — so direct
+/// run_scenario users keep whole-run measurement unless they opt in.
 [[nodiscard]] ScenarioConfig preset_config(std::string_view name);
+
+/// The mobility configuration a scenario realizes: the spec string parsed,
+/// with field, speed bound (2 x mean, the paper's U(0, 2*mean) draw), and
+/// pause taken from the scenario fields.  The single source of truth shared
+/// by the network builder, trace recording (quickstart --record-trace), and
+/// tests — so a realization recorded outside a run is guaranteed to match
+/// the trajectories the run itself realizes for the same seed.
+[[nodiscard]] mobility::MobilityConfig scenario_mobility_config(
+    const ScenarioConfig& cfg);
 
 /// A run's outcome: the §III metrics.
 using ScenarioResult = stats::MetricsSummary;

@@ -10,6 +10,7 @@
 
 #include "harness/table.hpp"
 #include "mobility/mobility_model.hpp"
+#include "mobility/trace.hpp"
 
 namespace rica::harness {
 
@@ -27,10 +28,18 @@ std::vector<SweepPoint> run_speed_sweep(
     const std::vector<double>& speeds_kmh, const std::vector<double>& loads,
     const std::vector<std::string>& mobilities, const BenchScale& scale) {
   // Resolve the preset and mobility specs up front so a bad name fails
-  // before any work starts.
+  // before any work starts.  Trace specs go further: the file is loaded
+  // (and validated against the preset's field) here, so an unreadable or
+  // malformed trace aborts before minutes of synthetic-model cells run —
+  // and the parse lands in the shared cache before worker threads race,
+  // so the whole sweep reuses this one load.
   const ScenarioConfig base = preset_config(scale.preset);
   for (const auto& mobility : mobilities) {
-    (void)mobility::parse_mobility_spec(mobility);
+    const auto mob = mobility::parse_mobility_spec(mobility);
+    if (mob.model == mobility::ModelKind::kTrace) {
+      (void)mobility::load_trace_shared(
+          mob.trace_file, mobility::Field{base.field_m, base.field_m});
+    }
   }
 
   // Lay out the grid in the canonical (mobility, load, speed, protocol)
@@ -62,6 +71,7 @@ std::vector<SweepPoint> run_speed_sweep(
     cfg.pkts_per_s = cell.pkts_per_s;
     cfg.pause_s = scale.pause_s;
     cfg.sim_s = scale.sim_s;
+    cfg.warmup_s = scale.warmup_s;
     cfg.seed = scale.seed;
     if (scale.verbose) {
       const std::scoped_lock lock(log_mu);

@@ -10,6 +10,7 @@
 #include "mobility/manhattan.hpp"
 #include "mobility/random_walk.hpp"
 #include "mobility/random_waypoint.hpp"
+#include "mobility/trace.hpp"
 
 namespace rica::mobility {
 
@@ -111,6 +112,14 @@ void apply_param(MobilityConfig& cfg, const std::string& key,
       }
       throw std::invalid_argument("unknown manhattan param: " + key +
                                   " (known: spacing, turn)");
+    case ModelKind::kTrace:
+      if (key == "file") {
+        cfg.trace_file = value;
+        require(!cfg.trace_file.empty(), key, "a non-empty path");
+        return;
+      }
+      throw std::invalid_argument("unknown trace param: " + key +
+                                  " (known: file)");
     case ModelKind::kRandomWaypoint:
       throw std::invalid_argument("unknown waypoint param: " + key +
                                   " (waypoint takes no params; pause and "
@@ -133,6 +142,8 @@ std::string_view to_string(ModelKind kind) {
       return "group";
     case ModelKind::kManhattan:
       return "manhattan";
+    case ModelKind::kTrace:
+      return "trace";
   }
   return "?";
 }
@@ -150,8 +161,10 @@ ModelKind model_from_string(std::string_view name) {
   }
   if (n == "group" || n == "rpgm") return ModelKind::kGroup;
   if (n == "manhattan" || n == "grid") return ModelKind::kManhattan;
+  if (n == "trace" || n == "replay") return ModelKind::kTrace;
   throw std::invalid_argument("unknown mobility model: " + std::string(name) +
-                              " (known: " + known_models_csv() + ")");
+                              " (known: " + known_models_csv() +
+                              ", trace:file=PATH)");
 }
 
 const std::vector<std::string>& known_mobility_models() {
@@ -164,8 +177,9 @@ MobilityConfig parse_mobility_spec(std::string_view spec,
                                    MobilityConfig base) {
   const auto colon = spec.find(':');
   base.model = model_from_string(spec.substr(0, colon));
-  if (colon == std::string_view::npos) return base;
-  std::string params(spec.substr(colon + 1));
+  std::string params(
+      colon == std::string_view::npos ? std::string_view{}
+                                      : spec.substr(colon + 1));
   std::size_t pos = 0;
   while (pos <= params.size()) {
     const auto comma = params.find(',', pos);
@@ -179,6 +193,10 @@ MobilityConfig parse_mobility_spec(std::string_view spec,
                                   item);
     }
     apply_param(base, item.substr(0, eq), item.substr(eq + 1));
+  }
+  if (base.model == ModelKind::kTrace && base.trace_file.empty()) {
+    throw std::invalid_argument(
+        "trace mobility requires a file: spell it trace:file=PATH");
   }
   return base;
 }
@@ -206,6 +224,8 @@ std::unique_ptr<MobilityModel> make_mobility_model(std::size_t num_nodes,
       return std::make_unique<GroupMobilityModel>(num_nodes, cfg, rng);
     case ModelKind::kManhattan:
       return std::make_unique<ManhattanModel>(num_nodes, cfg, rng);
+    case ModelKind::kTrace:
+      return std::make_unique<TraceMobilityModel>(num_nodes, cfg);
   }
   throw std::invalid_argument("unknown mobility model kind");
 }

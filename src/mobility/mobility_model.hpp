@@ -46,16 +46,20 @@ enum class ModelKind {
   kGaussMarkov,     ///< AR(1) speed/heading with boundary soft-repulsion
   kGroup,           ///< RPGM: waypoint reference points + per-member jitter
   kManhattan,       ///< street lattice with turn probabilities
+  kTrace,           ///< replay of an ns-2 setdest / BonnMotion trace file
 };
 
 [[nodiscard]] std::string_view to_string(ModelKind kind);
 
-/// Parses "waypoint", "walk", "gauss-markov", "group", "manhattan" (plus
-/// common aliases, case-insensitive).  Throws std::invalid_argument listing
-/// the known models for anything else.
+/// Parses "waypoint", "walk", "gauss-markov", "group", "manhattan", "trace"
+/// (plus common aliases, case-insensitive).  Throws std::invalid_argument
+/// listing the known models — including the `trace:file=PATH` spelling —
+/// for anything else.
 [[nodiscard]] ModelKind model_from_string(std::string_view name);
 
-/// All model spec names, in presentation order (for sweeps and usage text).
+/// The synthetic model spec names, in presentation order (for sweeps and
+/// usage text).  `trace` is deliberately absent: it needs a `file=` param,
+/// so all-model sweeps (fig7's default) stay runnable without a fixture.
 [[nodiscard]] const std::vector<std::string>& known_mobility_models();
 
 /// Configuration shared by every model, plus the per-model tunables.  Only
@@ -89,6 +93,12 @@ struct MobilityConfig {
   // the field evenly) and the probability of turning at an intersection.
   double manhattan_spacing_m = 250.0;
   double manhattan_turn_prob = 0.25;
+
+  // Trace replay ("trace:file=PATH"): ns-2 setdest or BonnMotion movement
+  // file (auto-detected; see mobility/trace.hpp).  Replay ignores
+  // max_speed_mps/pause — speeds come from the data — but the file's
+  // coordinates must fit the configured field or loading fails.
+  std::string trace_file;
 };
 
 /// Parses a command-line mobility spec "model[:key=value,...]" onto `base`.

@@ -1,0 +1,160 @@
+// Trace-driven mobility: replay recorded trajectories through the
+// MobilityModel interface, and record any built-in model to a trace.
+//
+// Two on-disk formats are read (auto-detected per file):
+//
+//   * ns-2 `setdest` movement scripts:
+//       $node_(3) set X_ 83.36
+//       $node_(3) set Y_ 239.44
+//       $ns_ at 2.0 "$node_(3) setdest 90.4 50.3 1.37"
+//     A node starts at its (X_, Y_) position, and each `setdest` command
+//     redirects it from wherever it is at the command time toward the new
+//     destination at the given speed; it pauses on arrival until the next
+//     command (ns-2 CMU-scen-gen semantics, redirects mid-flight included).
+//
+//   * BonnMotion waypoint files: one line per node of whitespace-separated
+//     `t x y` triples with strictly increasing t.  This is also the format
+//     write_bonnmotion_trace() emits (SUMO and ns-2 exports convert to it
+//     via BonnMotion itself).
+//
+// Both parse into the same representation GroupReference already uses: an
+// append-only per-node log of constant-velocity segments anchored at knots
+// (t_k, p_k).  Between knots the node moves at the chord velocity
+// (p_{k+1} - p_k) / (t_{k+1} - t_k); before the first and after the last
+// knot it holds position.  Anchoring every segment at its knot makes replay
+// *exact*: querying at a knot time returns the recorded doubles bit for bit,
+// which is what the round-trip property tests (record a built-in model,
+// replay, compare) assert.
+//
+// Error handling is strict by design: malformed lines, non-monotonic
+// timestamps, and coordinates outside the configured field all throw
+// std::invalid_argument carrying `file:line:` diagnostics — never a silent
+// clamp that would quietly bend a real-world trace into the arena.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+#include "mobility/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace rica::mobility {
+
+/// One recorded waypoint: node is at `p` exactly at time `t`.
+struct TraceKnot {
+  sim::Time t;
+  Vec2 p;
+};
+
+/// A parsed trace: per-node knot logs plus the data-derived speed bound
+/// (the maximum chord speed over every segment — the exact bound replay
+/// realizes, so the NeighborIndex staleness slack holds unmodified).
+struct TraceData {
+  std::vector<std::vector<TraceKnot>> nodes;
+  double max_speed_mps = 0.0;
+};
+
+/// Parses a BonnMotion waypoint stream.  `name` labels diagnostics (the
+/// file path); every knot must lie inside `field`.
+[[nodiscard]] TraceData parse_bonnmotion_trace(std::istream& in,
+                                               std::string_view name,
+                                               const Field& field);
+
+/// Parses an ns-2 `setdest` movement script into knot logs (arrival and
+/// redirect points become knots; pauses become zero-velocity segments).
+[[nodiscard]] TraceData parse_setdest_trace(std::istream& in,
+                                            std::string_view name,
+                                            const Field& field);
+
+/// Loads a trace file, auto-detecting the format: lines starting with `$`
+/// select the setdest grammar, numeric lines select BonnMotion.  Throws
+/// std::invalid_argument for unreadable files and for any parse error (with
+/// `file:line:` diagnostics).
+[[nodiscard]] TraceData load_trace(const std::string& path,
+                                   const Field& field);
+
+/// load_trace behind a process-wide cache keyed by (path, mtime, size,
+/// field): a sweep replaying one trace across {protocol x trial} cells
+/// parses the file once instead of once per Network construction, and the
+/// sweep's up-front validation can probe the file (failing fast on a bad
+/// path) while warming the cache before worker threads race for it.  The
+/// mtime/size key re-parses a rewritten file; thread-safe.
+[[nodiscard]] std::shared_ptr<const TraceData> load_trace_shared(
+    const std::string& path, const Field& field);
+
+/// Records `model` as a BonnMotion waypoint trace: every node sampled at
+/// 0, dt, 2*dt, ... up to and including the last multiple of `sample_dt`
+/// <= `duration`.  Values are printed with round-trip precision (%.17g), so
+/// replaying the written trace reproduces the sampled positions to exact
+/// double equality at every sample instant.  Between samples the replay
+/// moves at the chord velocity, so a `sample_dt` finer than the model's
+/// shortest trajectory segment bounds the interpolation error by
+/// max_speed * sample_dt.
+void write_bonnmotion_trace(MobilityModel& model, sim::Time duration,
+                            sim::Time sample_dt, std::ostream& os);
+
+/// File overload; throws std::invalid_argument when `path` cannot be opened.
+void write_bonnmotion_trace(MobilityModel& model, sim::Time duration,
+                            sim::Time sample_dt, const std::string& path);
+
+/// Replays a TraceData through the MobilityModel interface.
+///
+/// position_at/speed_at answer *any* query time (the data is immutable, so
+/// the model is fully replayable, not just monotone): a per-node cursor
+/// makes the common non-decreasing query pattern O(1), with a binary search
+/// over the knot log when the cursor segment misses.  Speed is the chord
+/// speed of the active segment (0 while holding before the first / after
+/// the last knot); max_speed_mps() is the data-derived bound.
+class TraceMobilityModel final : public MobilityModel {
+ public:
+  /// Replays the first `num_nodes` trajectories of `data` (shared,
+  /// immutable — sweep cells alias one parse).  Throws
+  /// std::invalid_argument when the trace covers fewer nodes (`origin`
+  /// labels the message — pass the file path).
+  TraceMobilityModel(std::size_t num_nodes,
+                     std::shared_ptr<const TraceData> data,
+                     std::string_view origin);
+
+  /// Convenience for tests and in-memory traces: takes ownership of `data`.
+  TraceMobilityModel(std::size_t num_nodes, TraceData data,
+                     std::string_view origin);
+
+  /// Loads `cfg.trace_file` (validated against `cfg.field`, via the shared
+  /// cache) and replays it.
+  TraceMobilityModel(std::size_t num_nodes, const MobilityConfig& cfg);
+
+  [[nodiscard]] Vec2 position_at(std::uint32_t id, sim::Time t) override;
+  [[nodiscard]] double speed_at(std::uint32_t id, sim::Time t) override;
+  [[nodiscard]] double max_speed_mps() const override {
+    return max_speed_mps_;
+  }
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
+
+  /// Duration covered by the longest trajectory (nodes hold position past
+  /// their last knot, so runs may extend beyond it).
+  [[nodiscard]] sim::Time duration() const { return duration_; }
+
+ private:
+  struct NodeTrack {
+    const std::vector<TraceKnot>* knots;  ///< aliases the shared TraceData
+    std::vector<Vec2> vel;        ///< chord velocity of segment k, m/s
+    std::vector<double> speed;    ///< |vel[k]|, precomputed
+    std::size_t cursor = 0;       ///< last segment served (monotone fast path)
+  };
+
+  /// Index of the segment holding t, i.e. knots[k].t <= t < knots[k+1].t.
+  /// Requires knots.front().t <= t < knots.back().t.
+  [[nodiscard]] static std::size_t segment_for(NodeTrack& track, sim::Time t);
+
+  std::shared_ptr<const TraceData> data_;  ///< keeps the knot logs alive
+  std::vector<NodeTrack> nodes_;
+  double max_speed_mps_ = 0.0;
+  sim::Time duration_ = sim::Time::zero();
+};
+
+}  // namespace rica::mobility

@@ -21,6 +21,9 @@ std::vector<double> ThroughputSeries::kbps() const {
 void MetricsCollector::on_generated(const net::DataPacket& pkt) {
   ++generated_;
   ++flows_[pkt.flow].generated;
+  fold(1);
+  fold((static_cast<std::uint64_t>(pkt.flow) << 32) | pkt.seq);
+  fold(static_cast<std::uint64_t>(pkt.gen_time.nanos()));
 }
 
 void MetricsCollector::on_delivered(const net::DataPacket& pkt,
@@ -34,20 +37,53 @@ void MetricsCollector::on_delivered(const net::DataPacket& pkt,
   ++f.delivered;
   f.delay_sum_ms += (now - pkt.gen_time).millis();
   f.last_delivery = now;
+  fold(2);
+  fold((static_cast<std::uint64_t>(pkt.flow) << 32) | pkt.seq);
+  fold(static_cast<std::uint64_t>(now.nanos()));
+  fold(pkt.hops);
 }
 
-void MetricsCollector::on_dropped(const net::DataPacket&, DropReason reason) {
+void MetricsCollector::on_dropped(const net::DataPacket& pkt,
+                                  DropReason reason) {
   ++drops_[static_cast<std::size_t>(reason)];
+  fold(3);
+  fold((static_cast<std::uint64_t>(pkt.flow) << 32) | pkt.seq);
+  fold(static_cast<std::uint64_t>(reason));
 }
 
 void MetricsCollector::on_control_tx(std::uint32_t bits) {
   control_bits_ += bits;
   ++control_tx_count_;
+  fold((4ull << 32) | bits);
 }
 
-void MetricsCollector::on_control_collision() { ++collision_count_; }
+void MetricsCollector::on_control_collision() {
+  ++collision_count_;
+  fold(5);
+}
 
-void MetricsCollector::on_ack_tx(std::uint32_t bits) { ack_bits_ += bits; }
+void MetricsCollector::on_ack_tx(std::uint32_t bits) {
+  ack_bits_ += bits;
+  fold((6ull << 32) | bits);
+}
+
+void MetricsCollector::reset_epoch(sim::Time now) {
+  generated_ = 0;
+  delivered_ = 0;
+  delay_sum_ms_ = 0.0;
+  hop_sum_ = 0.0;
+  tput_sum_bps_ = 0.0;
+  control_bits_ = 0.0;
+  ack_bits_ = 0.0;
+  control_tx_count_ = 0;
+  collision_count_ = 0;
+  drops_.fill(0);
+  series_.clear();
+  counters_.clear();
+  flows_.clear();
+  stream_hash_ = kFnvOffsetBasis;
+  epoch_start_ = now;
+}
 
 void MetricsCollector::inc(const std::string& name, std::uint64_t by) {
   counters_[name] += by;
@@ -67,7 +103,9 @@ MetricsSummary MetricsCollector::finalize(sim::Time sim_duration) const {
                                   static_cast<double>(generated_);
   s.avg_delay_ms =
       delivered_ == 0 ? 0.0 : delay_sum_ms_ / static_cast<double>(delivered_);
-  const double secs = sim_duration.seconds();
+  // Rates are normalized by the measurement window, which starts at the
+  // last epoch reset (t = 0 when no warmup was requested).
+  const double secs = (sim_duration - epoch_start_).seconds();
   s.overhead_kbps = secs <= 0.0 ? 0.0 : (control_bits_ + ack_bits_) / secs / 1e3;
   s.avg_link_tput_kbps = hop_sum_ <= 0.0 ? 0.0 : tput_sum_bps_ / hop_sum_ / 1e3;
   s.avg_hops =
@@ -77,6 +115,8 @@ MetricsSummary MetricsCollector::finalize(sim::Time sim_duration) const {
   s.control_collisions = collision_count_;
   s.tput_kbps_series = series_.kbps();
   s.counters = counters_;
+  s.stream_hash = stream_hash_;
+  s.measure_start = epoch_start_;
   return s;
 }
 

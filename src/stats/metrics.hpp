@@ -48,6 +48,10 @@ class ThroughputSeries {
 
   [[nodiscard]] sim::Time bucket_width() const { return bucket_; }
 
+  /// Drops accumulated bits; bucket indexing stays anchored at t = 0, so
+  /// after a warmup reset the pre-warmup buckets simply read zero.
+  void clear() { bits_.clear(); }
+
  private:
   sim::Time bucket_;
   std::vector<double> bits_;
@@ -67,6 +71,12 @@ struct MetricsSummary {
   std::uint64_t control_collisions = 0;
   std::vector<double> tput_kbps_series;
   std::map<std::string, std::uint64_t> counters;  ///< protocol diagnostics
+  /// FNV-1a over the ordered generated/delivered/dropped/control event
+  /// stream of the measurement window (see MetricsCollector::stream_hash).
+  /// Across trials, average() folds the per-trial hashes in trial order.
+  std::uint64_t stream_hash = 0;
+  /// Start of the measurement window (0 without warmup; see reset_epoch).
+  sim::Time measure_start{};
   // Kernel observability, filled by the harness from the Simulator after the
   // run.  Across trials, events_executed accumulates (total kernel work) and
   // the two high-water marks keep the per-trial maximum.
@@ -74,6 +84,19 @@ struct MetricsSummary {
   std::uint64_t peak_pending_events = 0;   ///< max simultaneously pending
   std::uint64_t slab_high_water = 0;       ///< max event records in use
 };
+
+/// FNV-1a running hash (64-bit), folded one event record at a time.  Used
+/// as the golden-run determinism fingerprint: any drift in event order,
+/// payload, or timing of the metrics stream changes the digest.
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::uint64_t hash,
+                                            std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
 
 /// Event sink wired into the node/MAC layers.  One collector per run.
 class MetricsCollector {
@@ -111,6 +134,19 @@ class MetricsCollector {
     return flows_;
   }
 
+  // -- measurement window ---------------------------------------------------
+  /// Opens a fresh measurement epoch at `now`: every accumulator (counts,
+  /// sums, drops, series, flow tallies, diagnostics, stream hash) restarts
+  /// from zero and finalize() reports rates over (now, sim_duration].  This
+  /// is the whole warmup implementation — one reset event at the end of the
+  /// transient instead of an is-warm branch on every counter update — so a
+  /// warmed-up run executes the exact same event stream as a cold one.
+  void reset_epoch(sim::Time now);
+  [[nodiscard]] sim::Time epoch_start() const { return epoch_start_; }
+
+  /// Order-sensitive FNV-1a digest of every event recorded this epoch.
+  [[nodiscard]] std::uint64_t stream_hash() const { return stream_hash_; }
+
   // -- results --------------------------------------------------------------
   [[nodiscard]] MetricsSummary finalize(sim::Time sim_duration) const;
 
@@ -121,6 +157,8 @@ class MetricsCollector {
   }
 
  private:
+  void fold(std::uint64_t v) { stream_hash_ = fnv1a(stream_hash_, v); }
+
   std::uint64_t generated_ = 0;
   std::uint64_t delivered_ = 0;
   double delay_sum_ms_ = 0.0;
@@ -134,6 +172,8 @@ class MetricsCollector {
   ThroughputSeries series_{};
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::uint32_t, FlowStats> flows_;
+  std::uint64_t stream_hash_ = kFnvOffsetBasis;
+  sim::Time epoch_start_ = sim::Time::zero();
 };
 
 /// Mean over a set of per-trial values (used by the multi-trial harness).

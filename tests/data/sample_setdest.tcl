@@ -1,0 +1,18 @@
+# Sample ns-2 `setdest` movement script (3 nodes, 1000 x 1000 m arena).
+# Exercises the grammar corners: pause-until-next-command (node 0),
+# mid-flight redirect (node 1: second command arrives before the first leg
+# completes), and a node that never moves (node 2).
+$node_(0) set X_ 100.0
+$node_(0) set Y_ 100.0
+$node_(0) set Z_ 0.0
+$node_(1) set X_ 900.0
+$node_(1) set Y_ 500.0
+$node_(1) set Z_ 0.0
+$node_(2) set X_ 500.0
+$node_(2) set Y_ 500.0
+$node_(2) set Z_ 0.0
+$god_ set-dist 0 1 1
+$ns_ at 2.0 "$node_(0) setdest 200.0 100.0 10.0"
+$ns_ at 20.0 "$node_(0) setdest 200.0 300.0 20.0"
+$ns_ at 1.0 "$node_(1) setdest 100.0 500.0 10.0"
+$ns_ at 5.0 "$node_(1) setdest 900.0 900.0 25.0"

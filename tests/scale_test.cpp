@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
 #include "mobility/mobility_model.hpp"
+#include "mobility/trace.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
@@ -63,13 +66,12 @@ struct IndexCase {
   double field_m;
   double max_speed_mps;
   double range_m;
-  const char* mobility = "waypoint";
+  std::string mobility = "waypoint";
 };
 
-class NeighborIndexEquivalence : public ::testing::TestWithParam<IndexCase> {};
-
-TEST_P(NeighborIndexEquivalence, GridMatchesBruteForceOverTime) {
-  const auto p = GetParam();
+/// The core index == brute-force property, shared by the parameterized
+/// synthetic-model cases and the runtime-generated trace-replay case.
+void check_index_equivalence(const IndexCase& p) {
   mobility::MobilityConfig wcfg = mobility::parse_mobility_spec(p.mobility);
   wcfg.field = mobility::Field{p.field_m, p.field_m};
   wcfg.max_speed_mps = p.max_speed_mps;
@@ -94,6 +96,33 @@ TEST_P(NeighborIndexEquivalence, GridMatchesBruteForceOverTime) {
   }
   EXPECT_GE(channel.neighbor_index().rebuild_count(), 2u)
       << "the sweep should have crossed rebuild epochs";
+}
+
+class NeighborIndexEquivalence : public ::testing::TestWithParam<IndexCase> {};
+
+TEST_P(NeighborIndexEquivalence, GridMatchesBruteForceOverTime) {
+  check_index_equivalence(GetParam());
+}
+
+TEST(TraceNeighborIndex, GridMatchesBruteForceOverTime) {
+  // The trace model's data-derived max_speed_mps() is the exact bound its
+  // replayed chord velocities realize, so the index's staleness slack — and
+  // with it the index == brute bit-identity — must hold unmodified.
+  mobility::MobilityConfig src = mobility::parse_mobility_spec("gauss-markov");
+  src.field = mobility::Field{1000.0, 1000.0};
+  src.max_speed_mps = 25.0;
+  const sim::RngManager rng(61);
+  const auto model = mobility::make_mobility_model(60, src, rng);
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "rica_scale_trace.trace")
+                        .string();
+  // Cover the 30 s query sweep; a coarse-ish dt leaves real chord motion.
+  mobility::write_bonnmotion_trace(*model, sim::seconds(31),
+                                   sim::milliseconds(400), path);
+
+  check_index_equivalence(
+      IndexCase{67, 60, 1000.0, 25.0, 250.0, "trace:file=" + path});
+  std::remove(path.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -243,6 +272,7 @@ void expect_identical(const harness::ScenarioResult& a,
   EXPECT_EQ(a.control_transmissions, b.control_transmissions);
   EXPECT_EQ(a.control_collisions, b.control_collisions);
   EXPECT_EQ(a.tput_kbps_series, b.tput_kbps_series);
+  EXPECT_EQ(a.stream_hash, b.stream_hash);
 }
 
 TEST(ParallelSweep, BitIdenticalToSerial) {
@@ -326,6 +356,21 @@ TEST(ParallelSweep, UnknownMobilityThrowsBeforeRunning) {
   scale.verbose = false;
   EXPECT_THROW(
       harness::run_speed_sweep({0.0}, {10.0}, {"teleport"}, scale),
+      std::invalid_argument);
+}
+
+TEST(ParallelSweep, UnreadableTraceThrowsBeforeRunning) {
+  // The up-front validation loads trace files, so a bad path aborts the
+  // sweep before any (potentially minutes-long) synthetic cell runs.
+  harness::BenchScale scale{};
+  scale.trials = 1;
+  scale.sim_s = 1.0;
+  scale.seed = 1;
+  scale.verbose = false;
+  EXPECT_THROW(
+      harness::run_speed_sweep(
+          {0.0}, {10.0},
+          {"waypoint", "trace:file=/nonexistent/rica-no-such.trace"}, scale),
       std::invalid_argument);
 }
 

@@ -1,0 +1,327 @@
+// Trace-driven mobility: record -> replay round-trip exactness for every
+// built-in model (positions and chord speeds reproduce to exact double
+// equality at sample instants), setdest/BonnMotion fixture parsing, format
+// auto-detection, the data-derived speed bound, and replayability (queries
+// in any order return the same bits).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+#include "mobility/trace.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rica::mobility {
+namespace {
+
+std::string data_path(const std::string& file) {
+  return std::string(RICA_TEST_DATA_DIR) + "/" + file;
+}
+
+/// A unique temp-file path, removed when the guard dies.
+struct TempFile {
+  explicit TempFile(const std::string& stem) {
+    path = (std::filesystem::temp_directory_path() /
+            ("rica_trace_test_" + stem + "_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             ".trace"))
+               .string();
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+MobilityConfig base_config(const char* spec) {
+  MobilityConfig cfg = parse_mobility_spec(spec);
+  cfg.field = Field{800.0, 800.0};
+  cfg.max_speed_mps = 17.5;
+  cfg.pause = sim::seconds(1);
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Record -> replay round trip, every built-in model
+// ---------------------------------------------------------------------------
+
+class TraceRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TraceRoundTrip, ReplayMatchesSourceModelExactlyAtSampleTimes) {
+  const auto cfg = base_config(GetParam());
+  const std::size_t n = 16;
+  const auto dt = sim::milliseconds(500);
+  const std::int64_t steps = 120;  // 60 s of motion
+
+  // Record one realization...
+  sim::RngManager rng(4242);
+  const auto recorded = make_mobility_model(n, cfg, rng);
+  std::stringstream trace_text;
+  write_bonnmotion_trace(*recorded, dt * steps, dt, trace_text);
+
+  // ...replay it...
+  const auto data =
+      parse_bonnmotion_trace(trace_text, "roundtrip", cfg.field);
+  TraceMobilityModel replay(n, std::move(data), "roundtrip");
+
+  // ...and walk a *fresh* instance of the source model (same seed -> same
+  // trajectory) collecting its positions at every sample instant.
+  const auto source = make_mobility_model(n, cfg, rng);
+  std::vector<std::vector<Vec2>> source_pos(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    source_pos[id].reserve(static_cast<std::size_t>(steps) + 1);
+    for (std::int64_t k = 0; k <= steps; ++k) {
+      source_pos[id].push_back(source->position_at(id, dt * k));
+    }
+  }
+
+  // Randomized sample-aligned query times, per node, in increasing order
+  // (the replay itself accepts any order; see ReplayIsQueryOrderInvariant).
+  std::mt19937_64 pick(7);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    for (std::int64_t k = 0; k <= steps; ++k) {
+      if ((pick() & 3) != 0) continue;  // ~1/4 of the instants, randomized
+      const sim::Time t = dt * k;
+      // Positions: exact double equality — the writer's %.17g round-trips
+      // every double and the replay anchors each segment at its knot.
+      EXPECT_EQ(replay.position_at(id, t), source_pos[id][k])
+          << GetParam() << " node " << id << " at t=" << t.seconds();
+      // Speeds: the replay moves at the chord velocity of the sample
+      // interval; the chord of the *source model's* positions, computed
+      // with the same arithmetic, must match bit for bit.
+      if (k < steps) {
+        const Vec2 chord_vel = (source_pos[id][k + 1] - source_pos[id][k]) *
+                               (1.0 / dt.seconds());
+        EXPECT_EQ(replay.speed_at(id, t), chord_vel.norm())
+            << GetParam() << " node " << id << " at t=" << t.seconds();
+      }
+    }
+  }
+}
+
+TEST_P(TraceRoundTrip, DataDerivedSpeedBoundHoldsAndIsTight) {
+  const auto cfg = base_config(GetParam());
+  sim::RngManager rng(99);
+  const auto recorded = make_mobility_model(10, cfg, rng);
+  std::stringstream trace_text;
+  write_bonnmotion_trace(*recorded, sim::seconds(40), sim::milliseconds(250),
+                         trace_text);
+  TraceMobilityModel replay(
+      10, parse_bonnmotion_trace(trace_text, "bound", cfg.field), "bound");
+
+  // Chord speeds never exceed the source model's bound (1e-6 slack absorbs
+  // the same rounding the displacement property test allows)...
+  EXPECT_LE(replay.max_speed_mps(), cfg.max_speed_mps + 1e-6) << GetParam();
+  // ...and every replayed speed obeys the replay's own bound *exactly*,
+  // which is what the neighbor index's staleness slack needs.
+  for (std::uint32_t id = 0; id < 10; ++id) {
+    for (int k = 0; k <= 160; ++k) {
+      const auto t = sim::milliseconds(250 * k);
+      EXPECT_LE(replay.speed_at(id, t), replay.max_speed_mps())
+          << GetParam() << " node " << id << " at t=" << t.seconds();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, TraceRoundTrip,
+    ::testing::Values("waypoint", "walk", "gauss-markov", "group",
+                      "manhattan", "group:size=3,radius=60,frac=0.7",
+                      "walk:leg=2"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name(info.param);
+      for (char& c : name) {
+        if (c == ':' || c == '=' || c == ',' || c == '-' || c == '.') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Replay semantics
+// ---------------------------------------------------------------------------
+
+TEST(TraceReplay, ReplayIsQueryOrderInvariant) {
+  // The trace is immutable data, so unlike the synthetic models the replay
+  // accepts queries in any order — and must return identical bits however
+  // the (t, node) pairs interleave.
+  const auto cfg = base_config("waypoint");
+  sim::RngManager rng(17);
+  const auto model = make_mobility_model(6, cfg, rng);
+  std::stringstream trace_text;
+  write_bonnmotion_trace(*model, sim::seconds(30), sim::milliseconds(400),
+                         trace_text);
+  const auto data = parse_bonnmotion_trace(trace_text, "order", cfg.field);
+  TraceMobilityModel forward(6, TraceData{data}, "order");
+  TraceMobilityModel shuffled(6, TraceData{data}, "order");
+
+  std::vector<std::pair<std::uint32_t, sim::Time>> queries;
+  for (std::uint32_t id = 0; id < 6; ++id) {
+    for (int k = 0; k <= 200; ++k) {
+      queries.emplace_back(id, sim::milliseconds(157 * k));
+    }
+  }
+  std::vector<Vec2> expected;
+  expected.reserve(queries.size());
+  for (const auto& [id, t] : queries) {
+    expected.push_back(forward.position_at(id, t));
+  }
+  // Re-evaluate in shuffled order against the forward-order answers.
+  std::shuffle(queries.begin(), queries.end(), std::mt19937_64(3));
+  for (const auto& [id, t] : queries) {
+    const std::size_t idx =
+        static_cast<std::size_t>(id) * 201 +
+        static_cast<std::size_t>(t.nanos() / sim::milliseconds(157).nanos());
+    EXPECT_EQ(shuffled.position_at(id, t), expected[idx])
+        << "node " << id << " at t=" << t.seconds();
+  }
+}
+
+TEST(TraceReplay, HoldsPositionBeforeFirstAndAfterLastKnot) {
+  std::stringstream in("5.0 100.0 200.0 10.0 300.0 200.0\n");
+  const auto data = parse_bonnmotion_trace(in, "hold", Field{1000, 1000});
+  TraceMobilityModel replay(1, TraceData{data}, "hold");
+  EXPECT_EQ(replay.position_at(0, sim::Time::zero()), (Vec2{100.0, 200.0}));
+  EXPECT_EQ(replay.position_at(0, sim::seconds(3)), (Vec2{100.0, 200.0}));
+  EXPECT_DOUBLE_EQ(replay.speed_at(0, sim::seconds(3)), 0.0);
+  EXPECT_EQ(replay.position_at(0, sim::seconds(10)), (Vec2{300.0, 200.0}));
+  EXPECT_EQ(replay.position_at(0, sim::seconds(400)), (Vec2{300.0, 200.0}));
+  EXPECT_DOUBLE_EQ(replay.speed_at(0, sim::seconds(12)), 0.0);
+  EXPECT_DOUBLE_EQ(replay.speed_at(0, sim::seconds(7)), 40.0);
+  EXPECT_EQ(replay.duration(), sim::seconds(10));
+}
+
+TEST(TraceReplay, UsesTracePrefixWhenItCoversMoreNodes) {
+  std::stringstream in(
+      "0.0 1.0 1.0\n"
+      "0.0 2.0 2.0\n"
+      "0.0 3.0 3.0\n");
+  const auto data = parse_bonnmotion_trace(in, "prefix", Field{10, 10});
+  TraceMobilityModel replay(2, TraceData{data}, "prefix");
+  EXPECT_EQ(replay.size(), 2u);
+  EXPECT_EQ(replay.position_at(1, sim::seconds(1)), (Vec2{2.0, 2.0}));
+}
+
+// ---------------------------------------------------------------------------
+// Fixture files: setdest and BonnMotion grammars, auto-detection
+// ---------------------------------------------------------------------------
+
+TEST(SetdestFixture, ReplaysPausesRedirectsAndStaticNodes) {
+  const Field field{1000.0, 1000.0};
+  const auto data = load_trace(data_path("sample_setdest.tcl"), field);
+  ASSERT_EQ(data.nodes.size(), 3u);
+  TraceMobilityModel replay(3, TraceData{data}, "fixture");
+
+  // Node 0: holds (100,100) until t=2, reaches (200,100) at t=12 (10 m/s),
+  // pauses until the t=20 command, then reaches (200,300) at t=30 (20 m/s).
+  EXPECT_EQ(replay.position_at(0, sim::seconds(1)), (Vec2{100.0, 100.0}));
+  EXPECT_DOUBLE_EQ(replay.position_at(0, sim::seconds(7)).x, 150.0);
+  EXPECT_DOUBLE_EQ(replay.position_at(0, sim::seconds(7)).y, 100.0);
+  EXPECT_EQ(replay.position_at(0, sim::seconds(15)), (Vec2{200.0, 100.0}));
+  EXPECT_DOUBLE_EQ(replay.speed_at(0, sim::seconds(15)), 0.0);
+  EXPECT_DOUBLE_EQ(replay.position_at(0, sim::seconds(25)).y, 200.0);
+  EXPECT_EQ(replay.position_at(0, sim::seconds(40)), (Vec2{200.0, 300.0}));
+
+  // Node 1: heads (900,500) -> (100,500) at 10 m/s from t=1, is redirected
+  // mid-flight at t=5 from (860,500) toward (900,900) at 25 m/s.
+  EXPECT_DOUBLE_EQ(replay.position_at(1, sim::seconds(5)).x, 860.0);
+  EXPECT_DOUBLE_EQ(replay.position_at(1, sim::seconds(5)).y, 500.0);
+  EXPECT_DOUBLE_EQ(replay.speed_at(1, sim::seconds(3)), 10.0);
+  const Vec2 final1 = replay.position_at(1, sim::seconds(60));
+  EXPECT_DOUBLE_EQ(final1.x, 900.0);
+  EXPECT_DOUBLE_EQ(final1.y, 900.0);
+
+  // Node 2 never receives a setdest: static forever.
+  EXPECT_EQ(replay.position_at(2, sim::seconds(55)), (Vec2{500.0, 500.0}));
+  EXPECT_DOUBLE_EQ(replay.speed_at(2, sim::seconds(55)), 0.0);
+}
+
+TEST(BonnMotionFixture, ReplaysWaypointTriples) {
+  const Field field{1000.0, 1000.0};
+  const auto data = load_trace(data_path("sample.bonnmotion"), field);
+  ASSERT_EQ(data.nodes.size(), 3u);
+  EXPECT_DOUBLE_EQ(data.max_speed_mps, 20.0);
+  TraceMobilityModel replay(3, TraceData{data}, "fixture");
+  EXPECT_DOUBLE_EQ(replay.position_at(0, sim::seconds(5)).x, 150.0);
+  EXPECT_DOUBLE_EQ(replay.position_at(1, sim::seconds(10)).x, 700.0);
+  EXPECT_EQ(replay.position_at(2, sim::seconds(30)), (Vec2{500.0, 500.0}));
+}
+
+TEST(TraceFile, WriterFileOverloadRoundTrips) {
+  const auto cfg = base_config("manhattan");
+  sim::RngManager rng(31);
+  const auto model = make_mobility_model(8, cfg, rng);
+  TempFile tmp("writer");
+  write_bonnmotion_trace(*model, sim::seconds(20), sim::milliseconds(500),
+                         tmp.path);
+
+  const auto data = load_trace(tmp.path, cfg.field);
+  ASSERT_EQ(data.nodes.size(), 8u);
+  TraceMobilityModel replay(8, TraceData{data}, tmp.path);
+  const auto fresh = make_mobility_model(8, cfg, rng);
+  for (std::uint32_t id = 0; id < 8; ++id) {
+    for (int k = 0; k <= 40; ++k) {
+      const auto t = sim::milliseconds(500 * k);
+      EXPECT_EQ(replay.position_at(id, t), fresh->position_at(id, t))
+          << "node " << id << " at t=" << t.seconds();
+    }
+  }
+}
+
+TEST(TraceCache, SharedLoadReusesOneParseAndTracksRewrites) {
+  const Field field{1000.0, 1000.0};
+  TempFile tmp("cache");
+  std::ofstream(tmp.path) << "0.0 10.0 10.0 5.0 20.0 20.0\n";
+  const auto a1 = load_trace_shared(tmp.path, field);
+  const auto a2 = load_trace_shared(tmp.path, field);
+  EXPECT_EQ(a1.get(), a2.get()) << "same file must alias one parse";
+  ASSERT_EQ(a1->nodes.size(), 1u);
+
+  // Rewriting the file (different size keys a re-parse) must not serve the
+  // stale trajectory.
+  std::ofstream(tmp.path)
+      << "0.0 10.0 10.0 5.0 20.0 20.0 9.0 400.0 400.0\n";
+  const auto b = load_trace_shared(tmp.path, field);
+  EXPECT_NE(b.get(), a1.get());
+  ASSERT_EQ(b->nodes.at(0).size(), 3u);
+  EXPECT_EQ(b->nodes.at(0).back().p, (Vec2{400.0, 400.0}));
+  // A different arena is a different validation context: separate entry.
+  const auto c = load_trace_shared(tmp.path, Field{500.0, 500.0});
+  EXPECT_NE(c.get(), b.get());
+}
+
+TEST(TraceSpec, FlowsThroughMobilityManager) {
+  const auto cfg = base_config("gauss-markov");
+  sim::RngManager rng(53);
+  const auto model = make_mobility_model(5, cfg, rng);
+  TempFile tmp("spec");
+  write_bonnmotion_trace(*model, sim::seconds(10), sim::milliseconds(250),
+                         tmp.path);
+
+  MobilityConfig replay_cfg =
+      parse_mobility_spec("trace:file=" + tmp.path);
+  EXPECT_EQ(replay_cfg.model, ModelKind::kTrace);
+  replay_cfg.field = cfg.field;
+  MobilityManager mgr(5, replay_cfg, rng);
+  const auto fresh = make_mobility_model(5, cfg, rng);
+  for (int k = 0; k <= 40; ++k) {
+    const auto t = sim::milliseconds(250 * k);
+    const auto snap = mgr.snapshot(t);
+    for (std::uint32_t id = 0; id < 5; ++id) {
+      EXPECT_EQ(snap[id], fresh->position_at(id, t))
+          << "node " << id << " at t=" << t.seconds();
+    }
+  }
+  EXPECT_GT(mgr.max_speed_mps(), 0.0);
+  EXPECT_LE(mgr.max_speed_mps(), cfg.max_speed_mps + 1e-6);
+}
+
+}  // namespace
+}  // namespace rica::mobility
