@@ -35,26 +35,10 @@ void print_mobility_figure(
     const std::vector<std::string>& models, const std::string& title,
     const std::function<double(const harness::ScenarioResult&)>& metric,
     int precision) {
-  std::cout << title << '\n';
-  std::vector<std::string> header{"mobility"};
-  for (const auto proto : harness::kAllProtocols) {
-    header.emplace_back(harness::to_string(proto));
-  }
-  harness::Table table(std::move(header));
-  for (const auto& model : models) {
-    std::vector<std::string> row{model};
-    for (const auto proto : harness::kAllProtocols) {
-      for (const auto& cell : grid) {
-        if (cell.mobility == model && cell.protocol == proto) {
-          row.push_back(harness::fmt(metric(cell.result), precision));
-          break;
-        }
-      }
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-  std::cout << '\n';
+  harness::print_axis_figure(
+      std::cout, grid, models, "mobility", title,
+      [](const harness::SweepPoint& cell) { return cell.mobility; }, metric,
+      precision);
 }
 
 }  // namespace
@@ -116,6 +100,14 @@ int main(int argc, char** argv) {
             point,
         [](const harness::ScenarioResult& r) {
           return static_cast<double>(r.peak_pending_events);
+        },
+        0);
+    print_mobility_figure(
+        grid, models,
+        "Figure 7(f): event closures spilled past the 128 B inline buffer"
+        " (heap_fallbacks, all trials) by mobility model" + point,
+        [](const harness::ScenarioResult& r) {
+          return static_cast<double>(r.heap_fallbacks);
         },
         0);
     std::cout << "Reading guide: waypoint is the paper's setting; group\n"

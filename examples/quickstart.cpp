@@ -1,9 +1,14 @@
 // Quickstart: run one RICA scenario at the paper's parameters and print the
 // §III metrics.  Try `--protocol aodv --mean-speed 72` to compare, or
 // `--mobility manhattan --warmup 20` to change the motion and skip the
-// transient.  `--record-trace FILE` records this scenario's exact mobility
-// realization as a BonnMotion trace (`--trace-dt` sets the sample interval);
-// replay it with `--mobility trace:file=FILE`.
+// transient.  `--traffic` swaps the workload: `--traffic onoff:on=0.5,off=2`
+// sends the same offered load in bursts, `--traffic reqresp` closes the
+// loop (requests earn responses), and every model takes
+// `pattern=random|sink|hotspot|ring` to reshape who talks to whom — e.g.
+// `--traffic cbr:pattern=sink` is a constant-rate convergecast.
+// `--record-trace FILE` records this scenario's exact mobility realization
+// as a BonnMotion trace (`--trace-dt` sets the sample interval); replay it
+// with `--mobility trace:file=FILE`.
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -25,6 +30,7 @@ int main(int argc, char** argv) {
     cfg.sim_s = flags.get("sim-time", 60.0);
     cfg.warmup_s = flags.get("warmup", 0.0);
     cfg.mobility = flags.get("mobility", cfg.mobility);
+    cfg.traffic = flags.get("traffic", cfg.traffic);
     cfg.seed = flags.get("seed", static_cast<std::uint64_t>(1));
 
     std::printf("protocol=%s  nodes=%zu  field=%.0fm  mean speed=%.1f km/h\n",
@@ -33,8 +39,8 @@ int main(int argc, char** argv) {
     std::printf("flows=%zu x %.0f pkt/s x %u B, sim time=%.0f s, seed=%llu\n",
                 cfg.num_pairs, cfg.pkts_per_s, cfg.packet_bytes, cfg.sim_s,
                 static_cast<unsigned long long>(cfg.seed));
-    std::printf("mobility=%s  warmup=%.0f s\n\n", cfg.mobility.c_str(),
-                cfg.warmup_s);
+    std::printf("mobility=%s  traffic=%s  warmup=%.0f s\n\n",
+                cfg.mobility.c_str(), cfg.traffic.c_str(), cfg.warmup_s);
 
     if (flags.has("record-trace")) {
       // Rebuild the run's mobility realization (same seed -> same named RNG
@@ -57,7 +63,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.generated));
     std::printf("delivered packets     : %llu (%.1f%%)\n",
                 static_cast<unsigned long long>(r.delivered), r.delivery_pct);
-    std::printf("avg end-to-end delay  : %.1f ms\n", r.avg_delay_ms);
+    std::printf("avg end-to-end delay  : %.1f ms (p50 %.1f / p95 %.1f /"
+                " p99 %.1f)\n",
+                r.avg_delay_ms, r.delay_p50_ms, r.delay_p95_ms,
+                r.delay_p99_ms);
+    std::printf("flow fairness (Jain)  : %.3f over %zu flows\n",
+                r.jain_fairness, r.flow_summaries.size());
     std::printf("routing overhead      : %.1f kbps\n", r.overhead_kbps);
     std::printf("avg link throughput   : %.1f kbps\n", r.avg_link_tput_kbps);
     std::printf("avg route length      : %.2f hops\n", r.avg_hops);
@@ -72,6 +83,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.drops[3]),
                 static_cast<unsigned long long>(r.drops[4]));
     if (flags.has("verbose")) {
+      std::printf("\nper-flow (gen/del/drop, tput kbps, p95 ms):\n");
+      for (const auto& fs : r.flow_summaries) {
+        std::printf("  flow %-3u %6llu /%6llu /%6llu  %8.1f  %8.1f\n",
+                    fs.flow, static_cast<unsigned long long>(fs.generated),
+                    static_cast<unsigned long long>(fs.delivered),
+                    static_cast<unsigned long long>(fs.dropped), fs.tput_kbps,
+                    fs.delay_p95_ms);
+      }
       std::printf("\ncounters:\n");
       for (const auto& [name, value] : r.counters) {
         std::printf("  %-28s %llu\n", name.c_str(),

@@ -6,6 +6,7 @@
 
 #include "harness/scenario.hpp"
 #include "mobility/mobility_model.hpp"
+#include "traffic/traffic_model.hpp"
 
 namespace rica::harness {
 
@@ -84,9 +85,11 @@ BenchScale bench_scale(const Flags& flags, int def_trials, double def_sim_s) {
   scale.threads = flags.get("threads", 0);
   scale.preset = flags.get("preset", scale.preset);
   scale.mobility = flags.get("mobility", scale.mobility);
-  // Validate the spec eagerly: a typo should fail with the known-model list
-  // before any experiment cell runs, not after.
+  // Validate the specs eagerly: a typo should fail with the known-model
+  // list before any experiment cell runs, not after.
   (void)mobility::parse_mobility_spec(scale.mobility);
+  scale.traffic = flags.get("traffic", scale.traffic);
+  (void)traffic::parse_traffic_spec(scale.traffic);
   scale.pause_s = flags.get("pause", scale.pause_s);
   if (scale.pause_s < 0.0) {
     throw std::invalid_argument("--pause must be >= 0 seconds");

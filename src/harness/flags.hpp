@@ -49,6 +49,9 @@ class Flags {
 ///   --mobility SPEC   mobility model "model[:k=v,...]": waypoint, walk,
 ///                     gauss-markov, group, manhattan, trace:file=PATH
 ///                     (validated here so a typo fails before any cell runs)
+///   --traffic SPEC    traffic model "model[:k=v,...]": poisson, cbr, onoff,
+///                     pareto, reqresp; every model takes pattern=random|
+///                     sink|hotspot|ring (validated here, same as mobility)
 ///   --pause S         pause on arrival, seconds (waypoint/walk legs)
 ///   --warmup S        measurement warmup, seconds: metrics reset once at
 ///                     t = S and report over (S, sim end].  Defaults to the
@@ -62,6 +65,7 @@ struct BenchScale {
   int threads = 0;            ///< 0 = hardware concurrency
   std::string preset = "paper";
   std::string mobility = "waypoint";
+  std::string traffic = "poisson";
   double pause_s = 3.0;       ///< the paper's §III-A default
   double warmup_s = 0.0;      ///< resolved warmup (explicit or preset cap)
   bool verbose = true;        ///< per-cell progress notes on stderr

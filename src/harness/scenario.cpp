@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cctype>
+#include <map>
 #include <memory>
 #include <stdexcept>
 
@@ -14,7 +15,7 @@
 #include "routing/bgca/bgca.hpp"
 #include "routing/linkstate/linkstate.hpp"
 #include "sim/random.hpp"
-#include "traffic/poisson.hpp"
+#include "traffic/traffic_model.hpp"
 
 namespace rica::harness {
 
@@ -197,15 +198,16 @@ std::vector<std::uint32_t> components_at_t0(net::Network& network) {
 }
 
 std::vector<traffic::Flow> connected_flows(net::Network& network,
-                                           const ScenarioConfig& cfg) {
+                                           const ScenarioConfig& cfg,
+                                           const traffic::TrafficConfig& tcfg) {
   auto flow_rng = network.rng().stream("flows");
   const auto comp = components_at_t0(network);
   // Resample until every pair is connected at t=0 (bounded; falls back to
   // the last draw for pathological layouts).
   std::vector<traffic::Flow> flows;
   for (int attempt = 0; attempt < 64; ++attempt) {
-    flows = traffic::random_flows(cfg.num_pairs, cfg.num_nodes,
-                                  cfg.pkts_per_s, flow_rng);
+    flows = traffic::make_flows(tcfg, cfg.num_pairs, cfg.num_nodes,
+                                cfg.pkts_per_s, flow_rng);
     const bool ok = std::all_of(flows.begin(), flows.end(),
                                 [&comp](const traffic::Flow& f) {
                                   return comp[f.src] == comp[f.dst];
@@ -218,6 +220,9 @@ std::vector<traffic::Flow> connected_flows(net::Network& network,
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  // Parse the traffic spec before any expensive construction so a typo
+  // fails with the known-model list, not mid-build.
+  const traffic::TrafficConfig tcfg = traffic::parse_traffic_spec(cfg.traffic);
   if (cfg.warmup_s < 0.0) {
     throw std::invalid_argument("warmup must be >= 0 seconds");
   }
@@ -245,18 +250,19 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     });
   }
 
-  auto flows = connected_flows(network, cfg);
-  traffic::PoissonTraffic traffic(network, std::move(flows), cfg.packet_bytes,
-                                  sim::seconds_f(cfg.sim_s),
-                                  network.rng().stream("traffic"));
+  auto flows = connected_flows(network, cfg, tcfg);
+  const auto generator = traffic::make_traffic_model(
+      tcfg, network, std::move(flows), cfg.packet_bytes,
+      sim::seconds_f(cfg.sim_s), network.rng().stream("traffic"));
   network.start();
-  traffic.start();
+  generator->start();
   network.simulator().run_until(sim::seconds_f(cfg.sim_s));
   auto summary = network.metrics().finalize(sim::seconds_f(cfg.sim_s));
   const auto& sim = network.simulator();
   summary.events_executed = sim.events_executed();
   summary.peak_pending_events = sim.peak_pending_events();
   summary.slab_high_water = sim.slab_high_water();
+  summary.heap_fallbacks = sim.heap_fallbacks();
   return summary;
 }
 
@@ -275,7 +281,12 @@ ScenarioResult average(const std::vector<ScenarioResult>& runs) {
     avg.avg_hops += r.avg_hops / n;
     avg.control_transmissions += r.control_transmissions;
     avg.control_collisions += r.control_collisions;
+    avg.delay_p50_ms += r.delay_p50_ms / n;
+    avg.delay_p95_ms += r.delay_p95_ms / n;
+    avg.delay_p99_ms += r.delay_p99_ms / n;
+    avg.jain_fairness += r.jain_fairness / n;
     avg.events_executed += r.events_executed;
+    avg.heap_fallbacks += r.heap_fallbacks;
     avg.peak_pending_events =
         std::max(avg.peak_pending_events, r.peak_pending_events);
     avg.slab_high_water = std::max(avg.slab_high_water, r.slab_high_water);
@@ -297,6 +308,26 @@ ScenarioResult average(const std::vector<ScenarioResult>& runs) {
       avg.tput_kbps_series[i] += r.tput_kbps_series[i] / n;
     }
   }
+  // Per-flow tables merge element-wise by flow id: every trial draws the
+  // same flow ids (0..num_pairs-1), so rows align by id even though the
+  // endpoints differ per seed.  Counts accumulate; rates/percentiles take
+  // the per-trial mean like their scalar counterparts.
+  std::map<std::uint32_t, stats::FlowSummary> merged;
+  for (const auto& r : runs) {
+    for (const auto& fs : r.flow_summaries) {
+      auto& m = merged[fs.flow];
+      m.flow = fs.flow;
+      m.generated += fs.generated;
+      m.delivered += fs.delivered;
+      m.dropped += fs.dropped;
+      m.tput_kbps += fs.tput_kbps / n;
+      m.delay_p50_ms += fs.delay_p50_ms / n;
+      m.delay_p95_ms += fs.delay_p95_ms / n;
+      m.delay_p99_ms += fs.delay_p99_ms / n;
+    }
+  }
+  avg.flow_summaries.reserve(merged.size());
+  for (const auto& [id, fs] : merged) avg.flow_summaries.push_back(fs);
   return avg;
 }
 
@@ -345,6 +376,43 @@ std::uint64_t trial_seed(const ScenarioConfig& cfg, int trial) {
         h = mix(h, static_cast<std::uint64_t>(c));
       }
       break;
+  }
+  // The traffic model joins the cell hash the same way: only when it
+  // departs from the paper's poisson-on-random-pairs default, so every
+  // pre-subsystem result keeps its seeds while the traffic axis still gets
+  // independent streams per model/pattern.  A domain tag separates the
+  // traffic contribution from the mobility one, so e.g. a walk cell and a
+  // cbr cell can never collide by mixing the same enum values.
+  const auto tr = traffic::parse_traffic_spec(cfg.traffic);
+  if (tr.model != traffic::TrafficKind::kPoisson ||
+      tr.pattern != traffic::FlowPattern::kRandom) {
+    h = mix(h, 0x7af1cULL);
+    h = mix(h, static_cast<std::uint64_t>(tr.model));
+    h = mix(h, static_cast<std::uint64_t>(tr.pattern));
+    switch (tr.model) {
+      case traffic::TrafficKind::kPoisson:
+        break;
+      case traffic::TrafficKind::kCbr:
+        h = mix(h, std::bit_cast<std::uint64_t>(tr.cbr_jitter));
+        break;
+      case traffic::TrafficKind::kOnOff:
+        h = mix(h, std::bit_cast<std::uint64_t>(tr.on_mean_s));
+        h = mix(h, std::bit_cast<std::uint64_t>(tr.off_mean_s));
+        break;
+      case traffic::TrafficKind::kPareto:
+        h = mix(h, std::bit_cast<std::uint64_t>(tr.on_mean_s));
+        h = mix(h, std::bit_cast<std::uint64_t>(tr.off_mean_s));
+        h = mix(h, std::bit_cast<std::uint64_t>(tr.pareto_shape));
+        break;
+      case traffic::TrafficKind::kReqResp:
+        h = mix(h, std::bit_cast<std::uint64_t>(tr.think_mean_s));
+        h = mix(h, std::bit_cast<std::uint64_t>(tr.timeout_s));
+        h = mix(h, static_cast<std::uint64_t>(tr.request_bytes));
+        break;
+    }
+    if (tr.pattern == traffic::FlowPattern::kHotspot) {
+      h = mix(h, static_cast<std::uint64_t>(tr.hotspots));
+    }
   }
   h = mix(h, static_cast<std::uint64_t>(trial));
   return h;

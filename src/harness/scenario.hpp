@@ -44,6 +44,11 @@ struct ScenarioConfig {
   std::size_t num_pairs = 10;
   double pkts_per_s = 10.0;
   std::uint16_t packet_bytes = 512;
+  /// Traffic model spec "model[:k=v,...]" (see traffic::parse_traffic_spec);
+  /// per-flow rate and payload size always come from the fields above, so
+  /// the spec composes with the paper's load axis.  The default reproduces
+  /// the pre-subsystem workload bit for bit.
+  std::string traffic = "poisson";
   double sim_s = 100.0;
   /// Measurement warmup, seconds: metrics reset once at t = warmup_s (a
   /// single epoch-reset event, so the event stream is identical to a

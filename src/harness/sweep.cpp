@@ -11,6 +11,7 @@
 #include "harness/table.hpp"
 #include "mobility/mobility_model.hpp"
 #include "mobility/trace.hpp"
+#include "traffic/traffic_model.hpp"
 
 namespace rica::harness {
 
@@ -27,9 +28,17 @@ std::vector<SweepPoint> run_speed_sweep(const std::vector<double>& speeds_kmh,
 std::vector<SweepPoint> run_speed_sweep(
     const std::vector<double>& speeds_kmh, const std::vector<double>& loads,
     const std::vector<std::string>& mobilities, const BenchScale& scale) {
-  // Resolve the preset and mobility specs up front so a bad name fails
-  // before any work starts.  Trace specs go further: the file is loaded
-  // (and validated against the preset's field) here, so an unreadable or
+  return run_speed_sweep(speeds_kmh, loads, mobilities, {scale.traffic},
+                         scale);
+}
+
+std::vector<SweepPoint> run_speed_sweep(
+    const std::vector<double>& speeds_kmh, const std::vector<double>& loads,
+    const std::vector<std::string>& mobilities,
+    const std::vector<std::string>& traffics, const BenchScale& scale) {
+  // Resolve the preset and model specs up front so a bad name fails before
+  // any work starts.  Trace specs go further: the file is loaded (and
+  // validated against the preset's field) here, so an unreadable or
   // malformed trace aborts before minutes of synthetic-model cells run —
   // and the parse lands in the shared cache before worker threads race,
   // so the whole sweep reuses this one load.
@@ -41,18 +50,24 @@ std::vector<SweepPoint> run_speed_sweep(
           mob.trace_file, mobility::Field{base.field_m, base.field_m});
     }
   }
+  for (const auto& traffic : traffics) {
+    (void)traffic::parse_traffic_spec(traffic);
+  }
 
-  // Lay out the grid in the canonical (mobility, load, speed, protocol)
-  // order; each cell owns a fixed output slot so worker scheduling never
-  // reorders (or otherwise perturbs) the results.
+  // Lay out the grid in the canonical (traffic, mobility, load, speed,
+  // protocol) order; each cell owns a fixed output slot so worker
+  // scheduling never reorders (or otherwise perturbs) the results.
   std::vector<SweepPoint> grid;
-  grid.reserve(mobilities.size() * speeds_kmh.size() * loads.size() *
-               kAllProtocols.size());
-  for (const auto& mobility : mobilities) {
-    for (const double load : loads) {
-      for (const double speed : speeds_kmh) {
-        for (const ProtocolKind proto : kAllProtocols) {
-          grid.push_back(SweepPoint{proto, mobility, speed, load, {}});
+  grid.reserve(traffics.size() * mobilities.size() * speeds_kmh.size() *
+               loads.size() * kAllProtocols.size());
+  for (const auto& traffic : traffics) {
+    for (const auto& mobility : mobilities) {
+      for (const double load : loads) {
+        for (const double speed : speeds_kmh) {
+          for (const ProtocolKind proto : kAllProtocols) {
+            grid.push_back(
+                SweepPoint{proto, mobility, traffic, speed, load, {}});
+          }
         }
       }
     }
@@ -67,6 +82,7 @@ std::vector<SweepPoint> run_speed_sweep(
     ScenarioConfig cfg = base;
     cfg.protocol = cell.protocol;
     cfg.mobility = cell.mobility;
+    cfg.traffic = cell.traffic;
     cfg.mean_speed_kmh = cell.mean_speed_kmh;
     cfg.pkts_per_s = cell.pkts_per_s;
     cfg.pause_s = scale.pause_s;
@@ -75,29 +91,35 @@ std::vector<SweepPoint> run_speed_sweep(
     cfg.seed = scale.seed;
     if (scale.verbose) {
       const std::scoped_lock lock(log_mu);
-      std::fprintf(stderr, "[sweep] %-9s %-12s speed=%5.1f km/h load=%4.1f"
-                           " pkt/s (%d trials x %.0f s)\n",
+      std::fprintf(stderr, "[sweep] %-9s %-12s %-12s speed=%5.1f km/h"
+                           " load=%4.1f pkt/s (%d trials x %.0f s)\n",
                    std::string(to_string(cell.protocol)).c_str(),
-                   cell.mobility.c_str(), cell.mean_speed_kmh,
-                   cell.pkts_per_s, scale.trials, scale.sim_s);
+                   cell.mobility.c_str(), cell.traffic.c_str(),
+                   cell.mean_speed_kmh, cell.pkts_per_s, scale.trials,
+                   scale.sim_s);
     }
     cell.result = run_trials(cfg, scale.trials);
     if (scale.verbose) {
       // Kernel observability per cell: total events fired across the cell's
-      // trials, plus the worst trial's pending-event and slab high-water
-      // marks — the knobs that tell whether the event core, not the
-      // protocols, is the bottleneck at this grid point.
+      // trials, the worst trial's pending-event and slab high-water marks,
+      // and the closures that spilled past the 128 B inline buffer — the
+      // knobs that tell whether the event core, not the protocols, is the
+      // bottleneck at this grid point (heap_fb is the inline-buffer sizing
+      // datum ROADMAP asked for).
       const std::scoped_lock lock(log_mu);
       std::fprintf(stderr,
-                   "[sweep]   done %-9s %-12s speed=%5.1f: events=%llu"
-                   " peak_pending=%llu slab_hw=%llu\n",
+                   "[sweep]   done %-9s %-12s %-12s speed=%5.1f: events=%llu"
+                   " peak_pending=%llu slab_hw=%llu heap_fb=%llu\n",
                    std::string(to_string(cell.protocol)).c_str(),
-                   cell.mobility.c_str(), cell.mean_speed_kmh,
+                   cell.mobility.c_str(), cell.traffic.c_str(),
+                   cell.mean_speed_kmh,
                    static_cast<unsigned long long>(cell.result.events_executed),
                    static_cast<unsigned long long>(
                        cell.result.peak_pending_events),
                    static_cast<unsigned long long>(
-                       cell.result.slab_high_water));
+                       cell.result.slab_high_water),
+                   static_cast<unsigned long long>(
+                       cell.result.heap_fallbacks));
     }
   };
 
@@ -161,6 +183,37 @@ void print_figure(std::ostream& os, const std::vector<SweepPoint>& grid,
           break;
         }
       }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+  os << '\n';
+}
+
+void print_axis_figure(
+    std::ostream& os, const std::vector<SweepPoint>& grid,
+    const std::vector<std::string>& keys, const std::string& axis_label,
+    const std::string& title,
+    const std::function<std::string(const SweepPoint&)>& key_of,
+    const std::function<double(const ScenarioResult&)>& metric,
+    int precision) {
+  os << title << '\n';
+  std::vector<std::string> header{axis_label};
+  for (const auto proto : kAllProtocols) {
+    header.emplace_back(to_string(proto));
+  }
+  Table table(std::move(header));
+  for (const auto& key : keys) {
+    std::vector<std::string> row{key};
+    for (const auto proto : kAllProtocols) {
+      std::string cell;  // stays blank when the grid has no such point
+      for (const auto& p : grid) {
+        if (key_of(p) == key && p.protocol == proto) {
+          cell = fmt(metric(p.result), precision);
+          break;
+        }
+      }
+      row.push_back(std::move(cell));
     }
     table.add_row(std::move(row));
   }

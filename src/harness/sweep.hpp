@@ -23,10 +23,11 @@
 
 namespace rica::harness {
 
-/// One grid cell: mobility model x protocol x speed x offered load.
+/// One grid cell: traffic model x mobility model x protocol x speed x load.
 struct SweepPoint {
   ProtocolKind protocol;
   std::string mobility;  ///< model spec, e.g. "waypoint", "gauss-markov"
+  std::string traffic;   ///< traffic spec, e.g. "poisson", "cbr:jitter=0.2"
   double mean_speed_kmh = 0.0;
   double pkts_per_s = 0.0;
   ScenarioResult result;
@@ -50,6 +51,15 @@ struct SweepPoint {
     const std::vector<double>& speeds_kmh, const std::vector<double>& loads,
     const std::vector<std::string>& mobilities, const BenchScale& scale);
 
+/// The full grid with explicit mobility *and* traffic axes: every traffic
+/// spec in `traffics` runs the whole {mobility x load x speed x protocol}
+/// grid (cells in (traffic, mobility, load, speed, protocol) order).  The
+/// parallel == serial bit-identity holds across both axes.
+[[nodiscard]] std::vector<SweepPoint> run_speed_sweep(
+    const std::vector<double>& speeds_kmh, const std::vector<double>& loads,
+    const std::vector<std::string>& mobilities,
+    const std::vector<std::string>& traffics, const BenchScale& scale);
+
 /// Prints one "figure": rows = speed, columns = protocols, cells =
 /// `metric(result)` formatted with `precision` digits.  Expects a
 /// single-mobility grid (a multi-model grid would collapse onto the first
@@ -58,5 +68,19 @@ void print_figure(std::ostream& os, const std::vector<SweepPoint>& grid,
                   double load, const std::string& title,
                   const std::function<double(const ScenarioResult&)>& metric,
                   int precision = 1);
+
+/// Prints one model-axis "figure": rows = `keys` in order, columns =
+/// protocols, cells = `metric(result)` of the first grid cell whose
+/// `key_of` field matches the row (blank when no cell matches, so a
+/// partial grid shows a hole instead of silently shifting the row).
+/// Serves both fig7 (key_of = mobility spec) and fig8 (traffic spec).
+/// key_of returns by value so callables that compute their key are safe.
+void print_axis_figure(
+    std::ostream& os, const std::vector<SweepPoint>& grid,
+    const std::vector<std::string>& keys, const std::string& axis_label,
+    const std::string& title,
+    const std::function<std::string(const SweepPoint&)>& key_of,
+    const std::function<double(const ScenarioResult&)>& metric,
+    int precision = 1);
 
 }  // namespace rica::harness

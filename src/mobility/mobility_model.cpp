@@ -1,7 +1,5 @@
 #include "mobility/mobility_model.hpp"
 
-#include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <stdexcept>
 
@@ -11,44 +9,24 @@
 #include "mobility/random_walk.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "mobility/trace.hpp"
+#include "util/spec_parse.hpp"
 
 namespace rica::mobility {
 
 namespace {
 
-std::string lower(std::string_view s) {
-  std::string out(s);
-  std::transform(out.begin(), out.end(), out.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return out;
-}
+constexpr std::string_view kDomain = "mobility";
 
 std::string known_models_csv() {
-  std::string out;
-  for (const auto& name : known_mobility_models()) {
-    out += out.empty() ? "" : ", ";
-    out += name;
-  }
-  return out;
+  return util::csv_list(known_mobility_models());
 }
 
 double parse_double(std::string_view key, const std::string& value) {
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(value, &used);
-    if (used != value.size()) throw std::invalid_argument(value);
-    return v;
-  } catch (const std::exception&) {
-    throw std::invalid_argument("mobility param " + std::string(key) +
-                                ": not a number: " + value);
-  }
+  return util::parse_spec_double(kDomain, key, value);
 }
 
 void require(bool ok, std::string_view key, std::string_view constraint) {
-  if (!ok) {
-    throw std::invalid_argument("mobility param " + std::string(key) +
-                                " must be " + std::string(constraint));
-  }
+  util::require_spec(ok, kDomain, key, constraint);
 }
 
 /// Applies one "key=value" onto cfg; keys are scoped to the selected model.
@@ -149,7 +127,7 @@ std::string_view to_string(ModelKind kind) {
 }
 
 ModelKind model_from_string(std::string_view name) {
-  const std::string n = lower(name);
+  const std::string n = util::lower(name);
   if (n == "waypoint" || n == "random-waypoint" || n == "rwp") {
     return ModelKind::kRandomWaypoint;
   }
@@ -175,24 +153,10 @@ const std::vector<std::string>& known_mobility_models() {
 
 MobilityConfig parse_mobility_spec(std::string_view spec,
                                    MobilityConfig base) {
-  const auto colon = spec.find(':');
-  base.model = model_from_string(spec.substr(0, colon));
-  std::string params(
-      colon == std::string_view::npos ? std::string_view{}
-                                      : spec.substr(colon + 1));
-  std::size_t pos = 0;
-  while (pos <= params.size()) {
-    const auto comma = params.find(',', pos);
-    const std::string item = params.substr(
-        pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    pos = comma == std::string::npos ? params.size() + 1 : comma + 1;
-    if (item.empty()) continue;
-    const auto eq = item.find('=');
-    if (eq == std::string::npos) {
-      throw std::invalid_argument("malformed mobility param (want key=value): " +
-                                  item);
-    }
-    apply_param(base, item.substr(0, eq), item.substr(eq + 1));
+  const auto parts = util::split_spec(spec, kDomain);
+  base.model = model_from_string(parts.head);
+  for (const auto& [key, value] : parts.params) {
+    apply_param(base, key, value);
   }
   if (base.model == ModelKind::kTrace && base.trace_file.empty()) {
     throw std::invalid_argument(

@@ -26,4 +26,8 @@ void Network::start() {
   for (auto& node : nodes_) node->start();
 }
 
+void Network::set_delivery_observer(Node::DeliveryObserverFn fn) {
+  for (auto& node : nodes_) node->set_delivery_observer(fn);
+}
+
 }  // namespace rica::net

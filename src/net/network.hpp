@@ -53,6 +53,12 @@ class Network {
   /// Starts every node's protocol.  Call after installing protocols.
   void start();
 
+  /// Installs one network-wide observer of final packet deliveries (the
+  /// feedback path closed-loop traffic models ride on).  Called after
+  /// metrics accounting; installing a new observer replaces the previous
+  /// one.  The observer must outlive the simulation run.
+  void set_delivery_observer(Node::DeliveryObserverFn fn);
+
  private:
   NetworkConfig cfg_;
   sim::Simulator sim_;

@@ -68,6 +68,7 @@ void Node::forward_data(DataPacket pkt, NodeId next_hop) {
 void Node::deliver_local(const DataPacket& pkt) {
   assert(pkt.dst == id_ && "deliver_local on a transit packet");
   metrics_.on_delivered(pkt, sim_.now());
+  if (delivery_observer_) delivery_observer_(pkt);
 }
 
 void Node::drop_data(const DataPacket& pkt, stats::DropReason reason) {

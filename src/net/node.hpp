@@ -22,6 +22,9 @@ class Node final : public routing::ProtocolHost {
  public:
   /// Hands a successfully received data packet to the peer node.
   using PeerDeliveryFn = std::function<void(NodeId to, DataPacket, NodeId from)>;
+  /// Observes every packet delivered to its final destination (closed-loop
+  /// traffic feedback; see Network::set_delivery_observer).
+  using DeliveryObserverFn = std::function<void(const DataPacket&)>;
 
   Node(NodeId id, sim::Simulator& sim, channel::ChannelModel& channel,
        mac::CommonChannelMac& common_mac, stats::MetricsCollector& metrics,
@@ -36,6 +39,11 @@ class Node final : public routing::ProtocolHost {
 
   /// Wires delivery of data packets into peer nodes (set by Network).
   void set_peer_delivery(PeerDeliveryFn fn) { peer_delivery_ = std::move(fn); }
+
+  /// Observes final deliveries at this node (set by Network; at most one).
+  void set_delivery_observer(DeliveryObserverFn fn) {
+    delivery_observer_ = std::move(fn);
+  }
 
   /// Starts the protocol (registers MAC handler, arms timers).
   void start();
@@ -70,6 +78,7 @@ class Node final : public routing::ProtocolHost {
   mac::LinkTransmitter links_;
   std::unique_ptr<routing::Protocol> protocol_;
   PeerDeliveryFn peer_delivery_;
+  DeliveryObserverFn delivery_observer_;
 };
 
 }  // namespace rica::net

@@ -103,6 +103,13 @@ class Simulator {
     return use_legacy_ ? legacy_.heap_high_water() : engine_.slab_high_water();
   }
 
+  /// Closures that outgrew the wheel's inline callback buffer and spilled
+  /// to a heap cell.  0 on the legacy backend, whose std::function storage
+  /// has no inline/spill distinction to report.
+  [[nodiscard]] std::uint64_t heap_fallbacks() const {
+    return use_legacy_ ? 0 : engine_.heap_fallbacks();
+  }
+
  private:
   void note_scheduled() {
     const std::size_t n = pending_events();

@@ -1,8 +1,23 @@
 #include "stats/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace rica::stats {
+
+namespace {
+
+/// Nearest-rank lookup in an already-sorted sample.
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank =
+      std::ceil(q / 100.0 * static_cast<double>(sorted.size()));
+  const auto idx = static_cast<std::size_t>(
+      std::clamp(rank - 1.0, 0.0, static_cast<double>(sorted.size() - 1)));
+  return sorted[idx];
+}
+
+}  // namespace
 
 void ThroughputSeries::add_bits(sim::Time at, double bits) {
   const auto idx = static_cast<std::size_t>(at.nanos() / bucket_.nanos());
@@ -36,7 +51,9 @@ void MetricsCollector::on_delivered(const net::DataPacket& pkt,
   auto& f = flows_[pkt.flow];
   ++f.delivered;
   f.delay_sum_ms += (now - pkt.gen_time).millis();
+  f.bits_delivered += pkt.size_bytes * 8.0;
   f.last_delivery = now;
+  f.delays_ms.push_back((now - pkt.gen_time).millis());
   fold(2);
   fold((static_cast<std::uint64_t>(pkt.flow) << 32) | pkt.seq);
   fold(static_cast<std::uint64_t>(now.nanos()));
@@ -46,6 +63,7 @@ void MetricsCollector::on_delivered(const net::DataPacket& pkt,
 void MetricsCollector::on_dropped(const net::DataPacket& pkt,
                                   DropReason reason) {
   ++drops_[static_cast<std::size_t>(reason)];
+  ++flows_[pkt.flow].dropped;
   fold(3);
   fold((static_cast<std::uint64_t>(pkt.flow) << 32) | pkt.seq);
   fold(static_cast<std::uint64_t>(reason));
@@ -117,6 +135,39 @@ MetricsSummary MetricsCollector::finalize(sim::Time sim_duration) const {
   s.counters = counters_;
   s.stream_hash = stream_hash_;
   s.measure_start = epoch_start_;
+
+  // Workload-axis metrics: per-flow table (map iteration is ascending flow
+  // id), fairness over per-flow delivered throughput, pooled percentiles.
+  // Each sample vector is copied and sorted exactly once; the three
+  // percentiles are index lookups into that one sorted copy.
+  std::vector<double> pooled_delays;
+  std::vector<double> flow_tputs;
+  std::vector<double> sorted;
+  pooled_delays.reserve(delivered_);
+  s.flow_summaries.reserve(flows_.size());
+  flow_tputs.reserve(flows_.size());
+  for (const auto& [flow_id, f] : flows_) {
+    FlowSummary fs;
+    fs.flow = flow_id;
+    fs.generated = f.generated;
+    fs.delivered = f.delivered;
+    fs.dropped = f.dropped;
+    fs.tput_kbps = secs <= 0.0 ? 0.0 : f.bits_delivered / secs / 1e3;
+    sorted = f.delays_ms;
+    std::sort(sorted.begin(), sorted.end());
+    fs.delay_p50_ms = sorted_percentile(sorted, 50.0);
+    fs.delay_p95_ms = sorted_percentile(sorted, 95.0);
+    fs.delay_p99_ms = sorted_percentile(sorted, 99.0);
+    flow_tputs.push_back(fs.tput_kbps);
+    pooled_delays.insert(pooled_delays.end(), f.delays_ms.begin(),
+                         f.delays_ms.end());
+    s.flow_summaries.push_back(fs);
+  }
+  s.jain_fairness = jain_index(flow_tputs);
+  std::sort(pooled_delays.begin(), pooled_delays.end());
+  s.delay_p50_ms = sorted_percentile(pooled_delays, 50.0);
+  s.delay_p95_ms = sorted_percentile(pooled_delays, 95.0);
+  s.delay_p99_ms = sorted_percentile(pooled_delays, 99.0);
   return s;
 }
 
@@ -133,6 +184,23 @@ double stddev(const std::vector<double>& xs) {
   double acc = 0.0;
   for (const double x : xs) acc += (x - m) * (x - m);
   return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return sorted_percentile(xs, q);
+}
+
+double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
 }
 
 }  // namespace rica::stats

@@ -57,6 +57,21 @@ class ThroughputSeries {
   std::vector<double> bits_;
 };
 
+/// Per-flow slice of a run's results (keyed by the traffic generator's flow
+/// id): conservation counts plus the flow's delivered throughput and delay
+/// percentiles.  `generated - delivered - dropped` packets are still in
+/// flight (buffered or mid-transmission) at the end of the window.
+struct FlowSummary {
+  std::uint32_t flow = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  double tput_kbps = 0.0;  ///< delivered bits over the measurement window
+  double delay_p50_ms = 0.0;
+  double delay_p95_ms = 0.0;
+  double delay_p99_ms = 0.0;
+};
+
 /// Aggregated results of one simulation run.
 struct MetricsSummary {
   std::uint64_t generated = 0;
@@ -71,6 +86,17 @@ struct MetricsSummary {
   std::uint64_t control_collisions = 0;
   std::vector<double> tput_kbps_series;
   std::map<std::string, std::uint64_t> counters;  ///< protocol diagnostics
+  // Workload-axis metrics: delay percentiles pooled over every delivered
+  // packet, Jain's fairness index over per-flow delivered throughput, and
+  // the per-flow table backing both.  Across trials, average() folds the
+  // per-flow tables element-wise by flow id and takes the mean of the
+  // per-trial percentiles/fairness (an approximation — exact pooling would
+  // need the raw samples).
+  double delay_p50_ms = 0.0;
+  double delay_p95_ms = 0.0;
+  double delay_p99_ms = 0.0;
+  double jain_fairness = 0.0;
+  std::vector<FlowSummary> flow_summaries;  ///< ascending flow id
   /// FNV-1a over the ordered generated/delivered/dropped/control event
   /// stream of the measurement window (see MetricsCollector::stream_hash).
   /// Across trials, average() folds the per-trial hashes in trial order.
@@ -83,6 +109,10 @@ struct MetricsSummary {
   std::uint64_t events_executed = 0;       ///< events fired by the kernel
   std::uint64_t peak_pending_events = 0;   ///< max simultaneously pending
   std::uint64_t slab_high_water = 0;       ///< max event records in use
+  /// Closures that outgrew the engine's 128 B inline buffer and spilled to
+  /// a heap cell (wheel backend only; the data behind the inline-buffer
+  /// sizing decision).  Accumulates across trials like events_executed.
+  std::uint64_t heap_fallbacks = 0;
 };
 
 /// FNV-1a running hash (64-bit), folded one event record at a time.  Used
@@ -127,8 +157,14 @@ class MetricsCollector {
   struct FlowStats {
     std::uint64_t generated = 0;
     std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
     double delay_sum_ms = 0.0;
+    double bits_delivered = 0.0;
     sim::Time last_delivery{};
+    /// Every delivered packet's delay, for the per-flow percentiles.  At
+    /// the paper's heaviest preset (100 flows x 10 pkt/s x 500 s) this is
+    /// ~4 MB per run — cheap next to the event stream it measures.
+    std::vector<double> delays_ms;
   };
   [[nodiscard]] const std::map<std::uint32_t, FlowStats>& flow_stats() const {
     return flows_;
@@ -180,5 +216,13 @@ class MetricsCollector {
 [[nodiscard]] double mean(const std::vector<double>& xs);
 /// Sample standard deviation (0 for fewer than two values).
 [[nodiscard]] double stddev(const std::vector<double>& xs);
+/// Nearest-rank percentile (q in [0, 100]) of an unsorted sample; 0 when
+/// empty.  Copies and sorts, so callers keep their sample order.
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+/// Jain's fairness index (sum x)^2 / (n * sum x^2) over per-flow shares:
+/// 1 when every flow gets an equal share, 1/n when one flow takes all.
+/// Conventions: 0 for an empty set; 1 when every share is zero (uniformly
+/// starved is still uniform).
+[[nodiscard]] double jain_index(const std::vector<double>& xs);
 
 }  // namespace rica::stats

@@ -1,0 +1,37 @@
+#include "traffic/burst.hpp"
+
+namespace rica::traffic {
+
+BurstTraffic::BurstTraffic(net::Network& network, std::vector<Flow> flows,
+                           std::uint16_t packet_bytes, sim::Time stop,
+                           sim::RandomStream rng, double on_mean_s,
+                           double off_mean_s)
+    : OpenLoopTraffic(network, std::move(flows), packet_bytes, stop,
+                      std::move(rng)),
+      on_mean_s_(on_mean_s),
+      off_mean_s_(off_mean_s),
+      phase_(flows_.size()) {}
+
+double BurstTraffic::next_gap_s(std::size_t flow_idx) {
+  auto& phase = phase_[flow_idx];
+  if (!phase.started) {
+    phase.started = true;
+    phase.on_left_s = draw_on_s();
+  }
+  // Burst rate preserves the time-averaged load: rate * (on+off)/on.
+  const double burst_rate = flows_[flow_idx].pkts_per_s *
+                            (on_mean_s_ + off_mean_s_) / on_mean_s_;
+  double gap = draw_burst_gap_s(burst_rate);
+  double total = 0.0;
+  while (gap > phase.on_left_s) {
+    total += phase.on_left_s;
+    gap -= phase.on_left_s;
+    total += draw_off_s();
+    phase.on_left_s = draw_on_s();
+  }
+  phase.on_left_s -= gap;
+  total += gap;
+  return total;
+}
+
+}  // namespace rica::traffic

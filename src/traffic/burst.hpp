@@ -1,0 +1,45 @@
+// Shared machinery for ON/OFF burst models: one remainder-carry loop that
+// walks a flow through alternating ON periods (packets at a burst rate) and
+// OFF silences, parameterized by the period and in-burst gap distributions.
+// The burst rate is (on+off)/on times the flow rate, so every burst model
+// offers the scenario's time-averaged load and burstiness is the only
+// variable between them.
+#pragma once
+
+#include <vector>
+
+#include "traffic/traffic_model.hpp"
+
+namespace rica::traffic {
+
+class BurstTraffic : public OpenLoopTraffic {
+ public:
+  BurstTraffic(net::Network& network, std::vector<Flow> flows,
+               std::uint16_t packet_bytes, sim::Time stop,
+               sim::RandomStream rng, double on_mean_s, double off_mean_s);
+
+ protected:
+  /// The carry loop: draw the in-burst gap; whenever it overruns the
+  /// current ON period, ride out the remnant, insert an OFF silence, and
+  /// carry the remainder into a fresh ON period.
+  double next_gap_s(std::size_t flow_idx) final;
+
+  /// Duration draws for the ON and OFF periods, seconds.
+  [[nodiscard]] virtual double draw_on_s() = 0;
+  [[nodiscard]] virtual double draw_off_s() = 0;
+  /// Gap between packets inside a burst at `burst_rate` pkt/s.
+  [[nodiscard]] virtual double draw_burst_gap_s(double burst_rate) = 0;
+
+  double on_mean_s_;
+  double off_mean_s_;
+
+ private:
+  struct FlowPhase {
+    bool started = false;
+    double on_left_s = 0.0;  ///< remaining time in the current ON period
+  };
+
+  std::vector<FlowPhase> phase_;
+};
+
+}  // namespace rica::traffic

@@ -1,0 +1,23 @@
+#include "traffic/cbr.hpp"
+
+namespace rica::traffic {
+
+CbrTraffic::CbrTraffic(net::Network& network, std::vector<Flow> flows,
+                       std::uint16_t packet_bytes, sim::Time stop,
+                       sim::RandomStream rng, double jitter)
+    : OpenLoopTraffic(network, std::move(flows), packet_bytes, stop,
+                      std::move(rng)),
+      jitter_(jitter),
+      started_(flows_.size(), false) {}
+
+double CbrTraffic::next_gap_s(std::size_t flow_idx) {
+  const double base = 1.0 / flows_[flow_idx].pkts_per_s;
+  if (!started_[flow_idx]) {
+    started_[flow_idx] = true;
+    return base * rng_.uniform();  // phase offset in [0, base)
+  }
+  if (jitter_ == 0.0) return base;
+  return base * (1.0 + jitter_ * (2.0 * rng_.uniform() - 1.0));
+}
+
+}  // namespace rica::traffic

@@ -1,0 +1,31 @@
+// Constant-bit-rate traffic: fixed inter-arrival gap 1/rate with an
+// optional uniform jitter fraction, matching the CBR/UDP workloads of the
+// empirical AODV study (arXiv:1109.6502).  Each flow starts at a uniform
+// random phase inside its first gap so flows never tick in lockstep (which
+// would synchronize MAC contention across the whole population).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "traffic/traffic_model.hpp"
+
+namespace rica::traffic {
+
+class CbrTraffic final : public OpenLoopTraffic {
+ public:
+  CbrTraffic(net::Network& network, std::vector<Flow> flows,
+             std::uint16_t packet_bytes, sim::Time stop, sim::RandomStream rng,
+             double jitter);
+
+  [[nodiscard]] std::string_view name() const override { return "cbr"; }
+
+ protected:
+  double next_gap_s(std::size_t flow_idx) override;
+
+ private:
+  double jitter_;                 ///< gap jitter fraction in [0, 1)
+  std::vector<bool> started_;     ///< first gap draws the phase offset
+};
+
+}  // namespace rica::traffic

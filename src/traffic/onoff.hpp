@@ -1,0 +1,30 @@
+// Exponential ON/OFF burst traffic: each flow alternates exponential ON
+// periods (Poisson arrivals at a burst rate) and exponential OFF silences.
+// Correlated, bursty demand is what stresses on-demand route discovery
+// hardest (route-request aggregation, arXiv:1608.08725): a burst arriving
+// on a cold route floods discovery, then the route idles out during OFF.
+#pragma once
+
+#include <string_view>
+
+#include "traffic/burst.hpp"
+
+namespace rica::traffic {
+
+class OnOffTraffic final : public BurstTraffic {
+ public:
+  using BurstTraffic::BurstTraffic;
+
+  [[nodiscard]] std::string_view name() const override { return "onoff"; }
+
+ protected:
+  double draw_on_s() override { return rng_.exponential(on_mean_s_); }
+  double draw_off_s() override { return rng_.exponential(off_mean_s_); }
+  // Exponential gaps: Poisson arrivals inside the burst.  (The carry across
+  // OFF periods is distribution-exact here — exponentials are memoryless.)
+  double draw_burst_gap_s(double burst_rate) override {
+    return rng_.exponential(1.0 / burst_rate);
+  }
+};
+
+}  // namespace rica::traffic

@@ -1,0 +1,23 @@
+#include "traffic/pareto.hpp"
+
+#include <cmath>
+
+namespace rica::traffic {
+
+ParetoTraffic::ParetoTraffic(net::Network& network, std::vector<Flow> flows,
+                             std::uint16_t packet_bytes, sim::Time stop,
+                             sim::RandomStream rng, double on_mean_s,
+                             double off_mean_s, double shape)
+    : BurstTraffic(network, std::move(flows), packet_bytes, stop,
+                   std::move(rng), on_mean_s, off_mean_s),
+      shape_(shape) {}
+
+double ParetoTraffic::pareto(double mean_s) {
+  const double xm = mean_s * (shape_ - 1.0) / shape_;
+  // Inverse-CDF with u in (0, 1]: uniform() returns [0, 1), so flip it to
+  // keep the draw finite.
+  const double u = 1.0 - rng_.uniform();
+  return xm / std::pow(u, 1.0 / shape_);
+}
+
+}  // namespace rica::traffic

@@ -1,0 +1,39 @@
+// Pareto ON/OFF traffic: the classic self-similar workload construction —
+// constant-rate packet trains whose ON and OFF durations are heavy-tailed
+// (Pareto with tail index `shape` > 1).  Aggregating many such sources
+// yields long-range-dependent demand, the regime where route caches and
+// discovery amortization behave nothing like they do under Poisson.
+#pragma once
+
+#include <string_view>
+
+#include "traffic/burst.hpp"
+
+namespace rica::traffic {
+
+class ParetoTraffic final : public BurstTraffic {
+ public:
+  ParetoTraffic(net::Network& network, std::vector<Flow> flows,
+                std::uint16_t packet_bytes, sim::Time stop,
+                sim::RandomStream rng, double on_mean_s, double off_mean_s,
+                double shape);
+
+  [[nodiscard]] std::string_view name() const override { return "pareto"; }
+
+ protected:
+  double draw_on_s() override { return pareto(on_mean_s_); }
+  double draw_off_s() override { return pareto(off_mean_s_); }
+  // Constant spacing inside a burst (the classical construction); the
+  // remainder carried across OFF periods keeps the train's phase.
+  double draw_burst_gap_s(double burst_rate) override {
+    return 1.0 / burst_rate;
+  }
+
+ private:
+  /// Pareto draw with the given mean: scale x_m = mean * (a-1) / a.
+  [[nodiscard]] double pareto(double mean_s);
+
+  double shape_;
+};
+
+}  // namespace rica::traffic

@@ -1,66 +1,9 @@
 #include "traffic/poisson.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <numeric>
-
 namespace rica::traffic {
 
-std::vector<Flow> random_flows(std::size_t num_pairs, std::size_t num_nodes,
-                               double pkts_per_s, sim::RandomStream& rng) {
-  assert(2 * num_pairs <= num_nodes &&
-         "need two distinct endpoints per pair");
-  // Sample 2*num_pairs distinct terminals (partial Fisher-Yates), then pair
-  // them up: source i talks to destination i.
-  std::vector<net::NodeId> ids(num_nodes);
-  std::iota(ids.begin(), ids.end(), 0u);
-  for (std::size_t i = 0; i < 2 * num_pairs; ++i) {
-    const auto j = static_cast<std::size_t>(
-        rng.uniform_int(static_cast<std::int64_t>(i),
-                        static_cast<std::int64_t>(num_nodes - 1)));
-    std::swap(ids[i], ids[j]);
-  }
-  std::vector<Flow> flows;
-  flows.reserve(num_pairs);
-  for (std::size_t i = 0; i < num_pairs; ++i) {
-    flows.push_back(Flow{static_cast<std::uint32_t>(i), ids[2 * i],
-                         ids[2 * i + 1], pkts_per_s});
-  }
-  return flows;
-}
-
-PoissonTraffic::PoissonTraffic(net::Network& network, std::vector<Flow> flows,
-                               std::uint16_t packet_bytes, sim::Time stop,
-                               sim::RandomStream rng)
-    : network_(network),
-      flows_(std::move(flows)),
-      next_seq_(flows_.size(), 0),
-      arrival_timers_(flows_.size()),
-      packet_bytes_(packet_bytes),
-      stop_(stop),
-      rng_(std::move(rng)) {}
-
-void PoissonTraffic::start() {
-  for (std::size_t i = 0; i < flows_.size(); ++i) schedule_next(i);
-}
-
-void PoissonTraffic::schedule_next(std::size_t flow_idx) {
-  const Flow& flow = flows_[flow_idx];
-  const double gap_s = rng_.exponential(1.0 / flow.pkts_per_s);
-  const sim::Time at = network_.simulator().now() + sim::seconds_f(gap_s);
-  if (at >= stop_) return;
-  arrival_timers_[flow_idx].arm_at(network_.simulator(), at, [this, flow_idx] {
-    const Flow& f = flows_[flow_idx];
-    net::DataPacket pkt;
-    pkt.flow = f.id;
-    pkt.src = f.src;
-    pkt.dst = f.dst;
-    pkt.seq = next_seq_[flow_idx]++;
-    pkt.gen_time = network_.simulator().now();
-    pkt.size_bytes = packet_bytes_;
-    network_.node(f.src).originate(std::move(pkt));
-    schedule_next(flow_idx);
-  });
+double PoissonTraffic::next_gap_s(std::size_t flow_idx) {
+  return rng_.exponential(1.0 / flows_[flow_idx].pkts_per_s);
 }
 
 }  // namespace rica::traffic

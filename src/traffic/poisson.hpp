@@ -1,56 +1,25 @@
 // Poisson application traffic (paper §III-A): a fixed set of terminal pairs,
 // each generating 512-byte packets with exponentially distributed
-// inter-arrival times.
+// inter-arrival times.  Ported onto the TrafficModel interface draw for
+// draw: the paper-parameter golden stream hashes are unchanged from the
+// pre-subsystem generator.
 #pragma once
 
-#include <cstdint>
-#include <vector>
+#include <string_view>
 
-#include "net/network.hpp"
-#include "net/packet.hpp"
-#include "sim/random.hpp"
-#include "sim/time.hpp"
-#include "sim/timer.hpp"
+#include "traffic/traffic_model.hpp"
 
 namespace rica::traffic {
 
-/// One unidirectional application flow.
-struct Flow {
-  std::uint32_t id = 0;
-  net::NodeId src = 0;
-  net::NodeId dst = 0;
-  double pkts_per_s = 10.0;
-};
-
-/// Draws `num_pairs` flows with distinct endpoints from `num_nodes`
-/// terminals (the paper's "10 terminal pairs").
-[[nodiscard]] std::vector<Flow> random_flows(std::size_t num_pairs,
-                                             std::size_t num_nodes,
-                                             double pkts_per_s,
-                                             sim::RandomStream& rng);
-
 /// Schedules Poisson packet generation on a network.
-class PoissonTraffic {
+class PoissonTraffic final : public OpenLoopTraffic {
  public:
-  PoissonTraffic(net::Network& network, std::vector<Flow> flows,
-                 std::uint16_t packet_bytes, sim::Time stop,
-                 sim::RandomStream rng);
+  using OpenLoopTraffic::OpenLoopTraffic;
 
-  /// Arms the first arrival of every flow.
-  void start();
+  [[nodiscard]] std::string_view name() const override { return "poisson"; }
 
-  [[nodiscard]] const std::vector<Flow>& flows() const { return flows_; }
-
- private:
-  void schedule_next(std::size_t flow_idx);
-
-  net::Network& network_;
-  std::vector<Flow> flows_;
-  std::vector<std::uint32_t> next_seq_;
-  std::vector<sim::Timer> arrival_timers_;  ///< one pending arrival per flow
-  std::uint16_t packet_bytes_;
-  sim::Time stop_;
-  sim::RandomStream rng_;
+ protected:
+  double next_gap_s(std::size_t flow_idx) override;
 };
 
 }  // namespace rica::traffic

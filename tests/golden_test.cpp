@@ -12,6 +12,7 @@
 // to one toolchain instead of to the simulator's own determinism.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -52,6 +53,20 @@ void expect_identical(const harness::ScenarioResult& a,
   EXPECT_EQ(a.tput_kbps_series, b.tput_kbps_series);
   EXPECT_EQ(a.counters, b.counters);
   EXPECT_EQ(a.measure_start, b.measure_start);
+  EXPECT_EQ(a.delay_p50_ms, b.delay_p50_ms);
+  EXPECT_EQ(a.delay_p95_ms, b.delay_p95_ms);
+  EXPECT_EQ(a.delay_p99_ms, b.delay_p99_ms);
+  EXPECT_EQ(a.jain_fairness, b.jain_fairness);
+  ASSERT_EQ(a.flow_summaries.size(), b.flow_summaries.size());
+  for (std::size_t i = 0; i < a.flow_summaries.size(); ++i) {
+    EXPECT_EQ(a.flow_summaries[i].flow, b.flow_summaries[i].flow);
+    EXPECT_EQ(a.flow_summaries[i].generated, b.flow_summaries[i].generated);
+    EXPECT_EQ(a.flow_summaries[i].delivered, b.flow_summaries[i].delivered);
+    EXPECT_EQ(a.flow_summaries[i].dropped, b.flow_summaries[i].dropped);
+    EXPECT_EQ(a.flow_summaries[i].tput_kbps, b.flow_summaries[i].tput_kbps);
+    EXPECT_EQ(a.flow_summaries[i].delay_p95_ms,
+              b.flow_summaries[i].delay_p95_ms);
+  }
 }
 
 class GoldenRun : public ::testing::TestWithParam<harness::ProtocolKind> {};
@@ -106,6 +121,42 @@ TEST(GoldenWarmup, WarmupWindowAgreesAcrossEventBackends) {
   EXPECT_EQ(wheel.measure_start, sim::seconds(2));
   expect_identical(wheel, legacy);
 }
+
+// Traffic variants join the determinism envelope: every workload model
+// (and the non-default flow patterns) must digest identically across both
+// event-queue backends — including reqresp, whose closed-loop feedback
+// schedules events from inside delivery callbacks.
+class GoldenTraffic : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenTraffic, StreamHashAgreesAcrossEventBackends) {
+  auto cfg = golden_config(harness::ProtocolKind::kRica);
+  cfg.traffic = GetParam();
+  cfg.event_backend = sim::EngineBackend::kWheel;
+  const auto wheel = harness::run_scenario(cfg);
+  cfg.event_backend = sim::EngineBackend::kLegacyHeap;
+  const auto legacy = harness::run_scenario(cfg);
+  EXPECT_NE(wheel.stream_hash, stats::kFnvOffsetBasis);
+  EXPECT_GT(wheel.generated, 0u);
+  expect_identical(wheel, legacy);
+  std::printf("[golden] traffic=%-28s stream_hash=%016llx\n", GetParam(),
+              static_cast<unsigned long long>(wheel.stream_hash));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTrafficModels, GoldenTraffic,
+    ::testing::Values("cbr:jitter=0.2", "onoff:on=0.5,off=0.5",
+                      "pareto:on=0.5,off=0.5,shape=1.5",
+                      "reqresp:think=0.3,timeout=1",
+                      "poisson:pattern=sink",
+                      "cbr:pattern=hotspot,hotspots=2",
+                      "poisson:pattern=ring"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name(info.param);
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
 
 TEST(GoldenTrace, TraceMobilityAgreesAcrossEventBackends) {
   // Replayed mobility joins the determinism envelope: record this golden

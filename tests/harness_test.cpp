@@ -129,6 +129,64 @@ TEST(BenchScale, NegativePauseRejected) {
   EXPECT_THROW((void)bench_scale(f, 3, 100.0), std::invalid_argument);
 }
 
+TEST(BenchScale, TrafficDefaultsToPoisson) {
+  const auto s = bench_scale(parse({}), 3, 100.0);
+  EXPECT_EQ(s.traffic, "poisson");
+}
+
+TEST(BenchScale, TrafficSpecWithParamsParses) {
+  const auto f =
+      parse({"--traffic", "onoff:on=0.5,off=2,pattern=hotspot,hotspots=4"});
+  const auto s = bench_scale(f, 3, 100.0);
+  EXPECT_EQ(s.traffic, "onoff:on=0.5,off=2,pattern=hotspot,hotspots=4");
+}
+
+TEST(BenchScale, UnknownTrafficModelFailsFastListingModels) {
+  const auto f = parse({"--traffic", "warpdrive"});
+  try {
+    (void)bench_scale(f, 3, 100.0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("poisson"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("reqresp"), std::string::npos) << msg;
+  }
+}
+
+TEST(BenchScale, BadTrafficParamFailsFast) {
+  const auto f = parse({"--traffic", "cbr:jitter=2"});
+  EXPECT_THROW((void)bench_scale(f, 3, 100.0), std::invalid_argument);
+}
+
+TEST(ScenarioTraffic, SpecFlowsIntoRunnableConfig) {
+  ScenarioConfig cfg;
+  cfg.traffic = "cbr:jitter=0.1,pattern=sink";
+  cfg.sim_s = 2.0;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.generated, 0u);
+  cfg.traffic = "cbr:jitter=-1";
+  EXPECT_THROW((void)run_scenario(cfg), std::invalid_argument);
+}
+
+TEST(ScenarioTraffic, OverfullPairRequestFailsWithClearMessage) {
+  // The 2*pairs <= nodes guard used to be a debug assert that vanished in
+  // Release builds and fed uniform_int an inverted range; it must now be a
+  // thrown error in every build type, carrying the arithmetic.
+  ScenarioConfig cfg;
+  cfg.num_nodes = 50;
+  cfg.num_pairs = 26;
+  cfg.sim_s = 1.0;
+  try {
+    (void)run_scenario(cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("random"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("26"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("50"), std::string::npos) << msg;
+  }
+}
+
 TEST(BenchScale, WarmupDefaultsToPresetCappedAtTwentyPercent) {
   // Long run: the paper preset's 20 s default applies whole.
   EXPECT_DOUBLE_EQ(bench_scale(parse({}), 3, 500.0).warmup_s, 20.0);
