@@ -10,7 +10,6 @@
 #include "harness/sweep.hpp"
 #include "mobility/mobility_model.hpp"
 #include "sim/event_engine.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -31,28 +30,10 @@ double field_for(std::int64_t num_nodes) {
 }
 
 // -- event-kernel benchmarks -------------------------------------------------
-// The legacy std::function heap vs the slab-backed timing wheel, on the same
-// mixed-delay schedule/pop workload (64 events in flight, delays spread over
-// the protocol stack's 0..1 ms range).  The refactor's acceptance bar is the
-// wheel at >= 2x the heap's schedule+pop throughput (BENCH_scale.json).
-
-void BM_EventQueueScheduleAndPop(benchmark::State& state) {
-  sim::EventQueue q;
-  sim::RandomStream rng(1);
-  std::int64_t t = 0;
-  for (auto _ : state) {
-    for (int i = 0; i < 64; ++i) {
-      q.schedule(sim::Time{t + rng.uniform_int(0, 1'000'000)}, [] {});
-    }
-    for (int i = 0; i < 64; ++i) {
-      auto fired = q.pop();
-      t = fired.at.nanos();
-      benchmark::DoNotOptimize(fired.id);
-    }
-  }
-  state.SetItemsProcessed(state.iterations() * 128);
-}
-BENCHMARK(BM_EventQueueScheduleAndPop);
+// The slab-backed timing wheel on a mixed-delay schedule/pop workload (64
+// events in flight, delays spread over the protocol stack's 0..1 ms range)
+// and on the Timer rearm churn pattern.  These rows are the perf-regression
+// guard's inputs (scripts/check_bench_regression.py vs BENCH_scale.json).
 
 void BM_EventEngineScheduleAndPop(benchmark::State& state) {
   sim::EventEngine q;
@@ -73,25 +54,7 @@ void BM_EventEngineScheduleAndPop(benchmark::State& state) {
 BENCHMARK(BM_EventEngineScheduleAndPop);
 
 // Cancel-heavy churn: the protocol stack's Timer rearm pattern (schedule,
-// cancel, schedule again).  The heap pays a hash erase and leaks the entry
-// until it surfaces; the wheel unlinks in O(1) and recycles the slot.
-
-void BM_EventQueueCancelChurn(benchmark::State& state) {
-  sim::EventQueue q;
-  sim::RandomStream rng(3);
-  std::int64_t t = 0;
-  for (auto _ : state) {
-    for (int i = 0; i < 32; ++i) {
-      const auto id =
-          q.schedule(sim::Time{t + rng.uniform_int(0, 1'000'000)}, [] {});
-      q.cancel(id);
-      q.schedule(sim::Time{t + rng.uniform_int(0, 1'000'000)}, [] {});
-    }
-    for (int i = 0; i < 32; ++i) t = q.pop().at.nanos();
-  }
-  state.SetItemsProcessed(state.iterations() * 96);
-}
-BENCHMARK(BM_EventQueueCancelChurn);
+// cancel, schedule again).  The wheel unlinks in O(1) and recycles the slot.
 
 void BM_EventEngineCancelChurn(benchmark::State& state) {
   sim::EventEngine q;
@@ -110,10 +73,9 @@ void BM_EventEngineCancelChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_EventEngineCancelChurn);
 
-void simulator_timer_chain(benchmark::State& state,
-                           sim::EngineBackend backend) {
+void BM_SimulatorTimerChain(benchmark::State& state) {
   for (auto _ : state) {
-    sim::Simulator sim(backend);
+    sim::Simulator sim;
     int count = 0;
     std::function<void()> tick = [&] {
       if (++count < 1000) sim.after(sim::microseconds(10), tick);
@@ -124,16 +86,7 @@ void simulator_timer_chain(benchmark::State& state,
   }
   state.SetItemsProcessed(state.iterations() * 1000);
 }
-
-void BM_SimulatorTimerChain(benchmark::State& state) {
-  simulator_timer_chain(state, sim::EngineBackend::kWheel);
-}
 BENCHMARK(BM_SimulatorTimerChain);
-
-void BM_SimulatorTimerChainLegacy(benchmark::State& state) {
-  simulator_timer_chain(state, sim::EngineBackend::kLegacyHeap);
-}
-BENCHMARK(BM_SimulatorTimerChainLegacy);
 
 void BM_MobilityPositionQuery(benchmark::State& state) {
   sim::RngManager rng(7);
@@ -257,6 +210,19 @@ BENCHMARK(BM_FullStackScenario)
     ->DenseRange(0, 4)
     ->Unit(benchmark::kMillisecond);
 
+// The contention-heavy end-to-end row: one second of the dense-urban preset
+// (200 nodes / 1 km², RICA).  This is where batch-firing and the pooled/flat
+// memory paths earn their keep, and a key perf-regression-guard input.
+void BM_FullStackDenseUrban(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ScenarioConfig cfg = harness::preset_config("dense-urban");
+    cfg.sim_s = 1.0;
+    const auto r = harness::run_scenario(cfg);
+    benchmark::DoNotOptimize(r.delivered);
+  }
+}
+BENCHMARK(BM_FullStackDenseUrban)->Unit(benchmark::kMillisecond);
+
 // Sweep throughput: the 5-protocol grid slice at two speeds, on `range(0)`
 // worker threads.  Measures the parallel harness's wall-clock scaling, so
 // real time (not CPU time) is the meaningful axis.
@@ -285,4 +251,20 @@ BENCHMARK(BM_SweepThroughput)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: stamp the *simulator's* build type into the benchmark
+// context.  google-benchmark's own "library_build_type" field reports how
+// the system libbenchmark was compiled (debug on some distro packages),
+// which says nothing about rica_core's optimization level; the regression
+// guard keys off this marker and refuses debug numbers.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("rica_build_type", "release");
+#else
+  benchmark::AddCustomContext("rica_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

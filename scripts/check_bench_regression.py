@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Benchmark regression guard for CI's bench-smoke job.
+
+Compares a fresh google-benchmark JSON dump against the committed baseline
+(BENCH_scale.json) and fails when any benchmark shared by both files got
+more than THRESHOLD times slower.  Two context checks run first:
+
+* `rica_build_type` must read "release" — a debug rica build makes every
+  number meaningless, so that is a hard failure (the custom main() in
+  bench/micro_bench.cpp stamps the field from NDEBUG);
+* `library_build_type` is the google-benchmark library's own build flavor;
+  a debug library only skews timings slightly, so it just warns (distro
+  libbenchmark packages are routinely debug builds).
+
+Baseline numbers were recorded on a 1-core container; CI runners differ, so
+the threshold is deliberately loose (catching 1.5x cliffs, not 5% drift).
+
+Usage: check_bench_regression.py <fresh.json> [baseline.json]
+"""
+
+import json
+import sys
+
+THRESHOLD = 1.5
+
+
+def rows(doc):
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = (b["real_time"], b["time_unit"])
+    return out
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    fresh_path = argv[1]
+    base_path = argv[2] if len(argv) > 2 else "BENCH_scale.json"
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+
+    ctx = fresh.get("context", {})
+    rica_build = ctx.get("rica_build_type", "unknown")
+    if rica_build != "release":
+        print(
+            f"FAIL: benchmark binary built as '{rica_build}' "
+            "(need a Release build: assertions and -O0 invalidate timings)"
+        )
+        return 1
+    if ctx.get("library_build_type") == "debug":
+        print(
+            "WARN: google-benchmark library is a debug build "
+            "(timings skew slightly; the distro package is usually to blame)"
+        )
+
+    fresh_rows = rows(fresh)
+    base_rows = rows(base)
+    shared = sorted(set(fresh_rows) & set(base_rows))
+    if not shared:
+        print("FAIL: no benchmark names shared with the baseline "
+              f"({base_path}) — wrong filter or stale baseline?")
+        return 1
+
+    failures = []
+    for name in shared:
+        new_t, new_u = fresh_rows[name]
+        old_t, old_u = base_rows[name]
+        if new_u != old_u:
+            print(f"WARN: {name}: unit changed {old_u} -> {new_u}; skipped")
+            continue
+        ratio = new_t / old_t if old_t > 0 else float("inf")
+        flag = "FAIL" if ratio > THRESHOLD else "  ok"
+        print(f"{flag}: {name}: {old_t:.1f} -> {new_t:.1f} {new_u} "
+              f"({ratio:.2f}x)")
+        if ratio > THRESHOLD:
+            failures.append(name)
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed past {THRESHOLD}x the "
+            f"committed baseline ({base_path}). If the slowdown is intended, "
+            "re-record the baseline from a Release build and commit it."
+        )
+        return 1
+    print(f"\nAll {len(shared)} shared benchmarks within {THRESHOLD}x of "
+          "baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

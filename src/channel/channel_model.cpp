@@ -110,12 +110,28 @@ std::optional<CsiClass> ChannelModel::csi(std::uint32_t a, std::uint32_t b,
 
 std::vector<std::uint32_t> ChannelModel::neighbors_of(std::uint32_t node,
                                                       sim::Time t) {
-  if (!cfg_.use_neighbor_index) return neighbors_of_bruteforce(node, t);
+  std::vector<std::uint32_t> out;
+  neighbors_of(node, t, out);
+  return out;
+}
+
+void ChannelModel::neighbors_of(std::uint32_t node, sim::Time t,
+                                std::vector<std::uint32_t>& out) {
+  out.clear();
+  if (!cfg_.use_neighbor_index) {
+    const auto n = static_cast<std::uint32_t>(mobility_.size());
+    for (std::uint32_t other = 0; other < n; ++other) {
+      if (other != node &&
+          mobility_.node_distance(node, other, t) <= cfg_.range_m) {
+        out.push_back(other);
+      }
+    }
+    return;
+  }
   index_.ensure_fresh(t);
   const auto pos = mobility_.position(node, t);
   candidates_.clear();
   index_.candidates_near(pos, candidates_);
-  std::vector<std::uint32_t> out;
   out.reserve(candidates_.size());
   for (const auto other : candidates_) {
     if (other == node) continue;
@@ -126,7 +142,6 @@ std::vector<std::uint32_t> ChannelModel::neighbors_of(std::uint32_t node,
   // Grid cells are visited row-major, so restore the ascending-id order the
   // brute-force scan produces; downstream event ordering depends on it.
   std::sort(out.begin(), out.end());
-  return out;
 }
 
 std::vector<std::uint32_t> ChannelModel::neighbors_of_bruteforce(

@@ -92,6 +92,12 @@ class ChannelModel {
   [[nodiscard]] std::vector<std::uint32_t> neighbors_of(std::uint32_t node,
                                                         sim::Time t);
 
+  /// Allocation-free variant: clears `out` and fills it with the neighbors
+  /// of `node` at time t, ascending by id.  Hot callers (the MAC, one query
+  /// per transmission) reuse the buffer's capacity across calls.
+  void neighbors_of(std::uint32_t node, sim::Time t,
+                    std::vector<std::uint32_t>& out);
+
   /// The original O(N) scan, kept as the reference implementation for the
   /// index equivalence tests and the micro-benchmarks.
   [[nodiscard]] std::vector<std::uint32_t> neighbors_of_bruteforce(

@@ -509,6 +509,15 @@ void RicaProtocol::on_reer(const net::ReerMsg& msg, net::NodeId from) {
   }
 }
 
+double RicaProtocol::table_load() const {
+  double lf = history_.load_factor();
+  lf = std::max(lf, sources_.load_factor());
+  lf = std::max(lf, relays_.load_factor());
+  lf = std::max(lf, dests_.load_factor());
+  lf = std::max(lf, rreq_upstream_.load_factor());
+  return lf;
+}
+
 void RicaProtocol::on_link_break(net::NodeId neighbor,
                                  std::vector<net::DataPacket> stranded) {
   host().count("rica.link_break");

@@ -26,12 +26,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "routing/protocol.hpp"
 #include "routing/tables.hpp"
 #include "sim/timer.hpp"
+#include "util/flat_table.hpp"
 
 namespace rica::core {
 
@@ -82,6 +82,7 @@ class RicaProtocol final : public routing::Protocol {
   void on_link_break(net::NodeId neighbor,
                      std::vector<net::DataPacket> stranded) override;
   [[nodiscard]] std::string_view name() const override { return "RICA"; }
+  [[nodiscard]] double table_load() const override;
 
   // -- white-box accessors for tests ----------------------------------------
   /// The source's current first hop for (this node -> dst), if valid.
@@ -188,10 +189,10 @@ class RicaProtocol final : public routing::Protocol {
 
   RicaConfig cfg_;
   routing::HistoryTable history_;
-  std::unordered_map<net::FlowKey, SourceState> sources_;
-  std::unordered_map<net::FlowKey, RelayState> relays_;
-  std::unordered_map<net::FlowKey, DestState> dests_;
-  std::unordered_map<std::uint64_t, net::NodeId> rreq_upstream_;
+  util::FlatMap64<SourceState> sources_;
+  util::FlatMap64<RelayState> relays_;
+  util::FlatMap64<DestState> dests_;
+  util::FlatMap64<net::NodeId> rreq_upstream_;
   std::uint32_t next_bid_ = 1;
 };
 

@@ -105,7 +105,6 @@ net::NetworkConfig to_network_config(const ScenarioConfig& cfg) {
   net.mobility = scenario_mobility_config(cfg);
   net.channel.range_m = cfg.radio_range_m;
   net.seed = cfg.seed;
-  net.event_backend = cfg.event_backend;
   return net;
 }
 
@@ -263,6 +262,9 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   summary.peak_pending_events = sim.peak_pending_events();
   summary.slab_high_water = sim.slab_high_water();
   summary.heap_fallbacks = sim.heap_fallbacks();
+  summary.batched_fires = sim.batched_fires();
+  summary.pool_high_water = network.pool_high_water();
+  summary.table_load = network.table_load();
   return summary;
 }
 
@@ -287,9 +289,12 @@ ScenarioResult average(const std::vector<ScenarioResult>& runs) {
     avg.jain_fairness += r.jain_fairness / n;
     avg.events_executed += r.events_executed;
     avg.heap_fallbacks += r.heap_fallbacks;
+    avg.batched_fires += r.batched_fires;
     avg.peak_pending_events =
         std::max(avg.peak_pending_events, r.peak_pending_events);
     avg.slab_high_water = std::max(avg.slab_high_water, r.slab_high_water);
+    avg.pool_high_water = std::max(avg.pool_high_water, r.pool_high_water);
+    avg.table_load = std::max(avg.table_load, r.table_load);
     for (std::size_t i = 0; i < stats::kNumDropReasons; ++i) {
       avg.drops[i] += r.drops[i];
     }

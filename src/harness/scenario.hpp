@@ -58,8 +58,6 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   /// RICA tunables used when protocol == kRica (ablation studies).
   core::RicaConfig rica{};
-  /// Event core to run on (kLegacyHeap only for differential tests).
-  sim::EngineBackend event_backend = sim::EngineBackend::kWheel;
 };
 
 /// A named workload preset: the paper's baseline plus the larger/denser

@@ -101,25 +101,31 @@ std::vector<SweepPoint> run_speed_sweep(
     cell.result = run_trials(cfg, scale.trials);
     if (scale.verbose) {
       // Kernel observability per cell: total events fired across the cell's
-      // trials, the worst trial's pending-event and slab high-water marks,
-      // and the closures that spilled past the 128 B inline buffer — the
-      // knobs that tell whether the event core, not the protocols, is the
-      // bottleneck at this grid point (heap_fb is the inline-buffer sizing
-      // datum ROADMAP asked for).
+      // trials (and how many came off the sorted same-tick batch), the worst
+      // trial's pending-event / slab / pool high-water marks, the closures
+      // that spilled past the inline buffer, and the open-addressing table
+      // occupancy — the knobs that tell whether the event core and the flat
+      // memory layout, not the protocols, are the bottleneck at this grid
+      // point.
       const std::scoped_lock lock(log_mu);
       std::fprintf(stderr,
                    "[sweep]   done %-9s %-12s %-12s speed=%5.1f: events=%llu"
-                   " peak_pending=%llu slab_hw=%llu heap_fb=%llu\n",
+                   " batched=%llu peak_pending=%llu slab_hw=%llu heap_fb=%llu"
+                   " pool_hw=%llu table_load=%.2f\n",
                    std::string(to_string(cell.protocol)).c_str(),
                    cell.mobility.c_str(), cell.traffic.c_str(),
                    cell.mean_speed_kmh,
                    static_cast<unsigned long long>(cell.result.events_executed),
+                   static_cast<unsigned long long>(cell.result.batched_fires),
                    static_cast<unsigned long long>(
                        cell.result.peak_pending_events),
                    static_cast<unsigned long long>(
                        cell.result.slab_high_water),
                    static_cast<unsigned long long>(
-                       cell.result.heap_fallbacks));
+                       cell.result.heap_fallbacks),
+                   static_cast<unsigned long long>(
+                       cell.result.pool_high_water),
+                   cell.result.table_load);
     }
   };
 

@@ -20,7 +20,12 @@ CommonChannelMac::CommonChannelMac(sim::Simulator& sim,
   nodes_.resize(channel.num_nodes());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i].rng = rng.stream("mac", i);
+    nodes_[i].queue.bind(ctrl_pool_);
   }
+}
+
+std::size_t CommonChannelMac::pool_high_water() const {
+  return ctrl_pool_.high_water();
 }
 
 void CommonChannelMac::register_node(net::NodeId id, RxHandler handler) {
@@ -39,7 +44,7 @@ void CommonChannelMac::send(net::NodeId from, net::ControlPacket pkt) {
     metrics_.inc("mac.ctrl_queue_drop");
     return;  // drop-tail: the channel is saturated
   }
-  st.queue.push_back(QueuedControl{std::move(pkt), 0});
+  st.queue.emplace_back(QueuedControl{std::move(pkt), 0});
   if (!st.transmitting && !st.attempt_timer.armed()) {
     schedule_attempt(from, sim::Time::zero());
   }
@@ -84,75 +89,80 @@ void CommonChannelMac::attempt(net::NodeId id) {
 void CommonChannelMac::start_tx(net::NodeId id) {
   auto& st = nodes_[id];
   assert(!st.queue.empty());
-  QueuedControl entry = std::move(st.queue.front());
+  st.in_flight = std::move(st.queue.front());
   st.queue.pop_front();
   st.transmitting = true;
-
-  const sim::Time start = sim_.now();
-  const sim::Time end = start + airtime(entry.pkt.size_bytes);
-  const std::uint64_t tx_id = next_tx_id_++;
+  st.tx_start = sim_.now();
+  st.tx_end = st.tx_start + airtime(st.in_flight.pkt.size_bytes);
+  st.tx_id = next_tx_id_++;
 
   // Coverage is evaluated at transmission start; node motion within a few
   // milliseconds of airtime is negligible at the paper's speeds.  This is
   // the MAC's hottest channel query (one per transmission); it is served by
-  // the channel's spatial neighbor index rather than an O(N) scan.
-  const auto receivers = channel_.neighbors_of(id, start);
-  for (const auto r : receivers) {
-    nodes_[r].heard.push_back(Interval{start, end, tx_id});
+  // the channel's spatial neighbor index rather than an O(N) scan, into a
+  // receiver buffer reused across this node's transmissions.
+  channel_.neighbors_of(id, st.tx_start, st.tx_receivers);
+  for (const auto r : st.tx_receivers) {
+    nodes_[r].heard.push_back(Interval{st.tx_start, st.tx_end, st.tx_id});
   }
   // Record our own airtime too: it is what makes a half-duplex node deaf to
   // transmissions that overlap its own.
-  st.heard.push_back(Interval{start, end, tx_id});
-  metrics_.on_control_tx(entry.pkt.size_bytes * 8u);
+  st.heard.push_back(Interval{st.tx_start, st.tx_end, st.tx_id});
+  metrics_.on_control_tx(st.in_flight.pkt.size_bytes * 8u);
 
-  auto end_of_tx = [this, id, entry = std::move(entry), receivers, start, end,
-                    tx_id]() mutable {
-    auto& sender = nodes_[id];
-    sender.transmitting = false;
-    const net::ControlPacket& pkt = entry.pkt;
+  // All per-transmission state lives in NodeState (half duplex guarantees
+  // one in-flight tx per node), so the event captures two words — well
+  // under the engine's inline buffer, keeping steady-state scheduling free
+  // of per-event heap allocation.
+  auto fire = [this, id] { end_of_tx(id); };
+  static_assert(sizeof(fire) <= sim::EventEngine::kInlineBytes);
+  sim_.at(st.tx_end, fire);
+}
 
-    bool unicast_ok = false;
-    for (const auto r : receivers) {
-      if (pkt.to != net::kBroadcastId && pkt.to != r) continue;
-      auto& rst = nodes_[r];
-      // Half duplex: a node that transmitted during our airtime missed us.
-      // Collision: any other transmission covering r overlapping [start,end].
-      const bool collided =
-          std::any_of(rst.heard.begin(), rst.heard.end(),
-                      [&](const Interval& iv) {
-                        return iv.tx_id != tx_id && iv.start < end &&
-                               start < iv.end;
-                      }) ||
-          rst.transmitting;
-      if (collided) {
-        metrics_.on_control_collision();
-        continue;
-      }
-      unicast_ok = true;
-      if (rst.handler) rst.handler(pkt, id);
+void CommonChannelMac::end_of_tx(net::NodeId id) {
+  auto& sender = nodes_[id];
+  sender.transmitting = false;
+  const net::ControlPacket& pkt = sender.in_flight.pkt;
+  const sim::Time start = sender.tx_start;
+  const sim::Time end = sender.tx_end;
+  const std::uint64_t tx_id = sender.tx_id;
+
+  bool unicast_ok = false;
+  for (const auto r : sender.tx_receivers) {
+    if (pkt.to != net::kBroadcastId && pkt.to != r) continue;
+    auto& rst = nodes_[r];
+    // Half duplex: a node that transmitted during our airtime missed us.
+    // Collision: any other transmission covering r overlapping [start,end].
+    const bool collided =
+        std::any_of(rst.heard.begin(), rst.heard.end(),
+                    [&](const Interval& iv) {
+                      return iv.tx_id != tx_id && iv.start < end &&
+                             start < iv.end;
+                    }) ||
+        rst.transmitting;
+    if (collided) {
+      metrics_.on_control_collision();
+      continue;
     }
+    unicast_ok = true;
+    if (rst.handler) rst.handler(pkt, id);
+  }
 
-    // CSMA/CA acknowledges unicast frames; a missing ACK triggers a
-    // retransmission after a fresh backoff.  Broadcasts are fire-and-forget.
-    if (pkt.to != net::kBroadcastId && !unicast_ok) {
-      ++entry.attempts;
-      if (entry.attempts < cfg_.unicast_attempts) {
-        nodes_[id].queue.push_front(std::move(entry));
-      } else {
-        metrics_.inc("mac.unicast_fail");
-      }
+  // CSMA/CA acknowledges unicast frames; a missing ACK triggers a
+  // retransmission after a fresh backoff.  Broadcasts are fire-and-forget.
+  if (pkt.to != net::kBroadcastId && !unicast_ok) {
+    ++sender.in_flight.attempts;
+    if (sender.in_flight.attempts < cfg_.unicast_attempts) {
+      sender.queue.push_front(std::move(sender.in_flight));
+    } else {
+      metrics_.inc("mac.unicast_fail");
     }
+  }
 
-    // Pump the sender's queue: contend again after a fresh backoff.
-    if (!nodes_[id].queue.empty() && !nodes_[id].attempt_timer.armed()) {
-      schedule_attempt(id, random_backoff(nodes_[id]));
-    }
-  };
-  // This is the stack's largest event closure; the engine's inline buffer is
-  // sized for it, and this is what keeps steady-state scheduling free of
-  // per-event heap allocation.
-  static_assert(sizeof(end_of_tx) <= sim::EventEngine::kInlineBytes);
-  sim_.at(end, std::move(end_of_tx));
+  // Pump the sender's queue: contend again after a fresh backoff.
+  if (!sender.queue.empty() && !sender.attempt_timer.armed()) {
+    schedule_attempt(id, random_backoff(sender));
+  }
 }
 
 }  // namespace rica::mac

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -29,6 +28,7 @@
 #include "sim/time.hpp"
 #include "sim/timer.hpp"
 #include "stats/metrics.hpp"
+#include "util/pool.hpp"
 
 namespace rica::mac {
 
@@ -69,6 +69,9 @@ class CommonChannelMac {
 
   [[nodiscard]] const CommonChannelConfig& config() const { return cfg_; }
 
+  /// Peak live control-queue entries across the whole MAC (pool gauge).
+  [[nodiscard]] std::size_t pool_high_water() const;
+
  private:
   struct Interval {
     sim::Time start;
@@ -80,7 +83,9 @@ class CommonChannelMac {
     int attempts = 0;
   };
   struct NodeState {
-    std::deque<QueuedControl> queue;
+    /// Control FIFO over the MAC-wide free-list pool: a flood burst on one
+    /// node reuses the queue nodes another node just released.
+    util::PooledQueue<QueuedControl> queue;
     RxHandler handler;
     sim::RandomStream rng{0};
     bool transmitting = false;
@@ -89,11 +94,21 @@ class CommonChannelMac {
     /// attempt_pending flag).
     sim::Timer attempt_timer;
     std::vector<Interval> heard;  ///< transmissions covering this node
+    // In-flight transmission state, valid while `transmitting` (half duplex:
+    // one tx at a time).  Keeping it here — not in the end-of-tx closure —
+    // is what lets that closure capture just [this, id], and `tx_receivers`
+    // keeps its capacity across transmissions (no per-tx allocation).
+    QueuedControl in_flight;
+    std::vector<net::NodeId> tx_receivers;
+    sim::Time tx_start;
+    sim::Time tx_end;
+    std::uint64_t tx_id = 0;
   };
 
   void schedule_attempt(net::NodeId id, sim::Time delay);
   void attempt(net::NodeId id);
   void start_tx(net::NodeId id);
+  void end_of_tx(net::NodeId id);
   [[nodiscard]] bool medium_busy(const NodeState& st, sim::Time now) const;
   void prune_heard(NodeState& st, sim::Time now) const;
   [[nodiscard]] sim::Time random_backoff(NodeState& st);
@@ -102,6 +117,8 @@ class CommonChannelMac {
   channel::ChannelModel& channel_;
   stats::MetricsCollector& metrics_;
   CommonChannelConfig cfg_;
+  /// Shared control-queue node pool; must outlive nodes_ (declared first).
+  util::FreeListPool<QueuedControl> ctrl_pool_;
   std::vector<NodeState> nodes_;
   std::uint64_t next_tx_id_ = 1;
 };

@@ -12,18 +12,28 @@ LinkTransmitter::LinkTransmitter(net::NodeId self, sim::Simulator& sim,
                                  const LinkConfig& cfg)
     : self_(self), sim_(sim), channel_(channel), metrics_(metrics), cfg_(cfg) {}
 
+LinkTransmitter::Link& LinkTransmitter::link(net::NodeId neighbor) {
+  const auto [it, inserted] = links_.try_emplace(neighbor);
+  if (inserted) it->second.q.bind(data_pool_);
+  return it->second;
+}
+
+std::size_t LinkTransmitter::pool_high_water() const {
+  return data_pool_.high_water();
+}
+
 void LinkTransmitter::enqueue(net::DataPacket pkt, net::NodeId next_hop) {
   assert(next_hop != self_ && "cannot enqueue to self");
   if (pkt.hops >= cfg_.hop_cap) {
     if (on_drop_) on_drop_(pkt, stats::DropReason::kLoopCap);
     return;
   }
-  auto& link = links_[next_hop];
+  auto& link = this->link(next_hop);
   if (link.q.size() >= cfg_.buffer_cap) {
     if (on_drop_) on_drop_(pkt, stats::DropReason::kBufferOverflow);
     return;
   }
-  link.q.push_back(Queued{std::move(pkt), sim_.now()});
+  link.q.emplace_back(Queued{std::move(pkt), sim_.now()});
   pump(next_hop);
 }
 
@@ -34,12 +44,11 @@ std::vector<net::DataPacket> LinkTransmitter::drain(net::NodeId neighbor) {
   auto& link = it->second;
   // The head packet of a busy link is on the air; it stays.
   const std::size_t keep = link.busy && !link.q.empty() ? 1 : 0;
-  while (link.q.size() > keep) {
-    out.push_back(std::move(link.q.back().pkt));
-    link.q.pop_back();
+  std::size_t pos = 0;
+  for (auto& q : link.q) {
+    if (pos++ >= keep) out.push_back(std::move(q.pkt));
   }
-  // Preserve FIFO order of the drained tail.
-  std::reverse(out.begin(), out.end());
+  link.q.truncate(keep);
   return out;
 }
 
@@ -55,7 +64,7 @@ std::size_t LinkTransmitter::queue_length(net::NodeId neighbor) const {
 }
 
 void LinkTransmitter::pump(net::NodeId neighbor) {
-  auto& link = links_[neighbor];
+  auto& link = this->link(neighbor);
   if (link.busy) return;
   // Enforce the 3 s residency bound lazily at service time.
   while (!link.q.empty() &&
@@ -69,7 +78,7 @@ void LinkTransmitter::pump(net::NodeId neighbor) {
 }
 
 void LinkTransmitter::tx_attempt(net::NodeId neighbor) {
-  auto& link = links_[neighbor];
+  auto& link = this->link(neighbor);
   assert(link.busy && !link.q.empty());
 
   const auto sample = channel_.sample(self_, neighbor, sim_.now());
@@ -84,7 +93,7 @@ void LinkTransmitter::tx_attempt(net::NodeId neighbor) {
   const auto csi = sample->csi;
 
   link.timer.arm_after(sim_, data_time, [this, neighbor, csi, ack_time] {
-    auto& lnk = links_[neighbor];
+    auto& lnk = this->link(neighbor);
     if (!lnk.busy || lnk.q.empty()) return;  // link was torn down meanwhile
     if (!channel_.in_range(self_, neighbor, sim_.now())) {
       fail(neighbor);  // receiver moved away mid-packet: no ACK will come
@@ -101,22 +110,22 @@ void LinkTransmitter::tx_attempt(net::NodeId neighbor) {
     if (deliver_) deliver_(std::move(delivered), neighbor);
     // The sender frees the code once the ACK lands (rearming from inside
     // the timer's own callback: the airtime event is already dead).
-    links_[neighbor].timer.arm_after(sim_, ack_time, [this, neighbor] {
-      links_[neighbor].busy = false;
+    this->link(neighbor).timer.arm_after(sim_, ack_time, [this, neighbor] {
+      this->link(neighbor).busy = false;
       pump(neighbor);
     });
   });
 }
 
 void LinkTransmitter::fail(net::NodeId neighbor) {
-  auto& link = links_[neighbor];
+  auto& link = this->link(neighbor);
   ++link.retries;
   if (link.retries > cfg_.max_retries) {
     declare_break(neighbor);
     return;
   }
   link.timer.arm_after(sim_, cfg_.retry_backoff, [this, neighbor] {
-    auto& lnk = links_[neighbor];
+    auto& lnk = this->link(neighbor);
     if (!lnk.busy) return;
     if (lnk.q.empty()) {
       lnk.busy = false;
@@ -127,7 +136,7 @@ void LinkTransmitter::fail(net::NodeId neighbor) {
 }
 
 void LinkTransmitter::declare_break(net::NodeId neighbor) {
-  auto& link = links_[neighbor];
+  auto& link = this->link(neighbor);
   link.timer.cancel();  // O(1): whatever phase was in flight dies with the link
   std::vector<net::DataPacket> stranded;
   stranded.reserve(link.q.size());

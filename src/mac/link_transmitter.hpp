@@ -13,9 +13,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "channel/channel_model.hpp"
@@ -24,6 +22,8 @@
 #include "sim/time.hpp"
 #include "sim/timer.hpp"
 #include "stats/metrics.hpp"
+#include "util/flat_table.hpp"
+#include "util/pool.hpp"
 
 namespace rica::mac {
 
@@ -70,13 +70,20 @@ class LinkTransmitter {
   /// Packets buffered toward one neighbour.
   [[nodiscard]] std::size_t queue_length(net::NodeId neighbor) const;
 
+  /// Peak live buffered data packets across all links (pool gauge).
+  [[nodiscard]] std::size_t pool_high_water() const;
+
+  /// Occupancy of the open-addressing link table (observability gauge).
+  [[nodiscard]] double table_load() const { return links_.load_factor(); }
+
  private:
   struct Queued {
     net::DataPacket pkt;
     sim::Time enqueued;
   };
   struct Link {
-    std::deque<Queued> q;
+    /// Per-link FIFO over the transmitter-wide free-list pool.
+    util::PooledQueue<Queued> q;
     bool busy = false;
     int retries = 0;
     /// The link's single serial-server timer: at most one of {data airtime,
@@ -84,6 +91,10 @@ class LinkTransmitter {
     /// three phases and declare_break() can kill the whole chain in O(1).
     sim::Timer timer;
   };
+
+  /// The link toward `neighbor`, created (and its queue bound to the data
+  /// pool) on first touch.
+  Link& link(net::NodeId neighbor);
 
   void pump(net::NodeId neighbor);
   void tx_attempt(net::NodeId neighbor);
@@ -95,7 +106,9 @@ class LinkTransmitter {
   channel::ChannelModel& channel_;
   stats::MetricsCollector& metrics_;
   LinkConfig cfg_;
-  std::unordered_map<net::NodeId, Link> links_;
+  /// Shared data-queue node pool; must outlive links_ (declared first).
+  util::FreeListPool<Queued> data_pool_;
+  util::FlatMap64<Link> links_;
   DeliverFn deliver_;
   LinkBreakFn on_break_;
   DropFn on_drop_;

@@ -1,10 +1,28 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
 namespace rica::net {
 
+namespace {
+// Runs before any heavy member construction: cfg_ is the first member, so
+// validating inside its initializer rejects oversized populations before
+// mobility/channel state is allocated.
+const NetworkConfig& validate(const NetworkConfig& cfg) {
+  if (cfg.num_nodes > kMaxNodes) {
+    throw std::invalid_argument(
+        "NetworkConfig.num_nodes = " + std::to_string(cfg.num_nodes) +
+        " exceeds the 2^24 node-id limit (routing history keys pack the "
+        "origin id into 24 bits)");
+  }
+  return cfg;
+}
+}  // namespace
+
 Network::Network(const NetworkConfig& cfg)
-    : cfg_(cfg),
-      sim_(cfg.event_backend),
+    : cfg_(validate(cfg)),
       rng_(cfg.seed),
       mobility_(cfg.num_nodes, cfg.mobility, rng_),
       channel_(cfg.channel, mobility_, rng_),
@@ -20,6 +38,18 @@ Network::Network(const NetworkConfig& cfg)
       nodes_.at(to)->receive_data(std::move(pkt), from);
     });
   }
+}
+
+std::size_t Network::pool_high_water() const {
+  std::size_t hw = common_mac_.pool_high_water();
+  for (const auto& n : nodes_) hw = std::max(hw, n->pool_high_water());
+  return hw;
+}
+
+double Network::table_load() const {
+  double lf = 0.0;
+  for (const auto& n : nodes_) lf = std::max(lf, n->table_load());
+  return lf;
 }
 
 void Network::start() {

@@ -25,10 +25,13 @@ struct NetworkConfig {
   mac::CommonChannelConfig common_mac{};
   mac::LinkConfig link{};
   std::uint64_t seed = 1;
-  /// Event core the simulator runs on.  kLegacyHeap exists for the
-  /// differential determinism tests; everything else uses the wheel.
-  sim::EngineBackend event_backend = sim::EngineBackend::kWheel;
 };
+
+/// Largest node population a network may instantiate.  Node ids must fit
+/// 24 bits: routing history keys pack `(tag << 24 | origin)` into 32 bits
+/// (see routing/tables.hpp), so a larger id would silently alias history
+/// entries.  Enforced at Network construction.
+inline constexpr std::size_t kMaxNodes = std::size_t{1} << 24;
 
 /// Owns the full simulation stack.  Protocols are installed per node by the
 /// harness (which knows which protocol family is under test); then start()
@@ -52,6 +55,15 @@ class Network {
 
   /// Starts every node's protocol.  Call after installing protocols.
   void start();
+
+  /// Peak live pooled entries across the whole stack: the control-queue
+  /// pool of the common MAC and every node's data-queue pool (the gauge
+  /// behind MetricsSummary::pool_high_water).
+  [[nodiscard]] std::size_t pool_high_water() const;
+
+  /// Max open-addressing table occupancy across all nodes (routing tables,
+  /// history tables, link tables).
+  [[nodiscard]] double table_load() const;
 
   /// Installs one network-wide observer of final packet deliveries (the
   /// feedback path closed-loop traffic models ride on).  Called after

@@ -54,6 +54,18 @@ class Node final : public routing::ProtocolHost {
   /// A data packet arrived over a link from `from`.
   void receive_data(DataPacket pkt, NodeId from);
 
+  /// Peak live entries in this node's data-queue pool (observability).
+  [[nodiscard]] std::size_t pool_high_water() const {
+    return links_.pool_high_water();
+  }
+
+  /// Max open-addressing occupancy across this node's link table and the
+  /// protocol's routing tables (observability).
+  [[nodiscard]] double table_load() const {
+    const double protocol = protocol_ ? protocol_->table_load() : 0.0;
+    return protocol > links_.table_load() ? protocol : links_.table_load();
+  }
+
   // -- ProtocolHost ----------------------------------------------------------
   [[nodiscard]] NodeId id() const override { return id_; }
   sim::Simulator& simulator() override { return sim_; }

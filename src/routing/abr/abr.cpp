@@ -408,6 +408,18 @@ void AbrProtocol::flush_repair(net::FlowKey flow) {
   }
 }
 
+double AbrProtocol::table_load() const {
+  double lf = history_.load_factor();
+  lf = std::max(lf, neighbors_.load_factor());
+  lf = std::max(lf, entries_.load_factor());
+  lf = std::max(lf, sources_.load_factor());
+  lf = std::max(lf, dests_.load_factor());
+  lf = std::max(lf, repair_pending_.load_factor());
+  lf = std::max(lf, bq_upstream_.load_factor());
+  lf = std::max(lf, lq_upstream_.load_factor());
+  return lf;
+}
+
 void AbrProtocol::on_link_break(net::NodeId neighbor,
                                 std::vector<net::DataPacket> stranded) {
   host().count("abr.link_break");

@@ -18,12 +18,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "routing/protocol.hpp"
 #include "routing/tables.hpp"
 #include "sim/timer.hpp"
+#include "util/flat_table.hpp"
 
 namespace rica::routing {
 
@@ -54,6 +54,7 @@ class AbrProtocol final : public Protocol {
   void on_link_break(net::NodeId neighbor,
                      std::vector<net::DataPacket> stranded) override;
   [[nodiscard]] std::string_view name() const override { return "ABR"; }
+  [[nodiscard]] double table_load() const override;
 
   // -- white-box accessors for tests ----------------------------------------
   /// Current associativity ticks for a neighbour (0 if unknown/expired).
@@ -121,13 +122,13 @@ class AbrProtocol final : public Protocol {
   AbrConfig cfg_;
   HistoryTable history_;
   sim::Timer beacon_timer_;  ///< the node-wide periodic beacon
-  std::unordered_map<net::NodeId, Neighbor> neighbors_;
-  std::unordered_map<net::FlowKey, Entry> entries_;
-  std::unordered_map<net::FlowKey, SourceState> sources_;
-  std::unordered_map<net::FlowKey, DestState> dests_;
-  std::unordered_map<net::FlowKey, PendingBuffer> repair_pending_;
-  std::unordered_map<std::uint64_t, net::NodeId> bq_upstream_;
-  std::unordered_map<std::uint64_t, net::NodeId> lq_upstream_;
+  util::FlatMap64<Neighbor> neighbors_;
+  util::FlatMap64<Entry> entries_;
+  util::FlatMap64<SourceState> sources_;
+  util::FlatMap64<DestState> dests_;
+  util::FlatMap64<PendingBuffer> repair_pending_;
+  util::FlatMap64<net::NodeId> bq_upstream_;
+  util::FlatMap64<net::NodeId> lq_upstream_;
   std::uint32_t next_bid_ = 1;
 };
 

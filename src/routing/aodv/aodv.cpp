@@ -1,5 +1,6 @@
 #include "routing/aodv/aodv.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace rica::routing {
@@ -191,6 +192,15 @@ void AodvProtocol::flush_pending(net::NodeId dst) {
   }
 }
 
+double AodvProtocol::table_load() const {
+  double lf = history_.load_factor();
+  lf = std::max(lf, routes_.load_factor());
+  lf = std::max(lf, reverse_.load_factor());
+  lf = std::max(lf, discovery_.load_factor());
+  lf = std::max(lf, precursor_.load_factor());
+  return lf;
+}
+
 void AodvProtocol::on_link_break(net::NodeId neighbor,
                                  std::vector<net::DataPacket> stranded) {
   host().count("aodv.link_break");
@@ -202,7 +212,8 @@ void AodvProtocol::on_link_break(net::NodeId neighbor,
     const auto pre = precursor_.find(dst);
     if (pre != precursor_.end() && pre->second != host().id()) {
       host().send_control(net::make_control(
-          pre->second, net::AodvRerrMsg{0, dst, host().id()}));
+          pre->second,
+          net::AodvRerrMsg{0, static_cast<net::NodeId>(dst), host().id()}));
     }
   }
 }

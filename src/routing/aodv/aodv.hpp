@@ -11,11 +11,11 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "routing/protocol.hpp"
 #include "routing/tables.hpp"
 #include "sim/timer.hpp"
+#include "util/flat_table.hpp"
 
 namespace rica::routing {
 
@@ -44,6 +44,7 @@ class AodvProtocol final : public Protocol {
   void on_link_break(net::NodeId neighbor,
                      std::vector<net::DataPacket> stranded) override;
   [[nodiscard]] std::string_view name() const override { return "AODV"; }
+  [[nodiscard]] double table_load() const override;
 
   /// Forwarding entry for `dst`, if valid and fresh (exposed for tests).
   [[nodiscard]] std::optional<net::NodeId> next_hop(net::NodeId dst) const;
@@ -80,12 +81,12 @@ class AodvProtocol final : public Protocol {
 
   AodvConfig cfg_;
   HistoryTable history_;
-  std::unordered_map<net::NodeId, Route> routes_;        // dst -> entry
-  std::unordered_map<std::uint64_t, ReversePath> reverse_;  // (src,bid)
-  std::unordered_map<net::NodeId, Discovery> discovery_; // dst -> state
+  util::FlatMap64<Route> routes_;         // dst -> entry
+  util::FlatMap64<ReversePath> reverse_;  // (src,bid)
+  util::FlatMap64<Discovery> discovery_;  // dst -> state
   // Upstream of the most recent data packet per destination; RERRs retrace
   // this path toward the source (a light-weight precursor list).
-  std::unordered_map<net::NodeId, net::NodeId> precursor_;
+  util::FlatMap64<net::NodeId> precursor_;
   std::uint32_t next_bid_ = 1;
 };
 

@@ -424,6 +424,17 @@ void BgcaProtocol::on_reer(const net::ReerMsg& msg, net::NodeId from) {
   }
 }
 
+double BgcaProtocol::table_load() const {
+  double lf = history_.load_factor();
+  lf = std::max(lf, entries_.load_factor());
+  lf = std::max(lf, sources_.load_factor());
+  lf = std::max(lf, dests_.load_factor());
+  lf = std::max(lf, repair_pending_.load_factor());
+  lf = std::max(lf, rreq_upstream_.load_factor());
+  lf = std::max(lf, lq_upstream_.load_factor());
+  return lf;
+}
+
 void BgcaProtocol::on_link_break(net::NodeId neighbor,
                                  std::vector<net::DataPacket> stranded) {
   host().count("bgca.link_break");

@@ -13,12 +13,12 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "routing/protocol.hpp"
 #include "routing/tables.hpp"
 #include "sim/timer.hpp"
+#include "util/flat_table.hpp"
 
 namespace rica::routing {
 
@@ -54,6 +54,7 @@ class BgcaProtocol final : public Protocol {
   void on_link_break(net::NodeId neighbor,
                      std::vector<net::DataPacket> stranded) override;
   [[nodiscard]] std::string_view name() const override { return "BGCA"; }
+  [[nodiscard]] double table_load() const override;
 
   /// The bandwidth requirement the guard enforces, bits/s.
   [[nodiscard]] double requirement_bps() const {
@@ -123,12 +124,12 @@ class BgcaProtocol final : public Protocol {
   BgcaConfig cfg_;
   HistoryTable history_;
   sim::Timer monitor_timer_;  ///< the periodic bandwidth-guard sweep
-  std::unordered_map<net::FlowKey, Entry> entries_;
-  std::unordered_map<net::FlowKey, SourceState> sources_;
-  std::unordered_map<net::FlowKey, DestState> dests_;
-  std::unordered_map<net::FlowKey, PendingBuffer> repair_pending_;
-  std::unordered_map<std::uint64_t, net::NodeId> rreq_upstream_;
-  std::unordered_map<std::uint64_t, net::NodeId> lq_upstream_;
+  util::FlatMap64<Entry> entries_;
+  util::FlatMap64<SourceState> sources_;
+  util::FlatMap64<DestState> dests_;
+  util::FlatMap64<PendingBuffer> repair_pending_;
+  util::FlatMap64<net::NodeId> rreq_upstream_;
+  util::FlatMap64<net::NodeId> lq_upstream_;
   std::uint32_t next_bid_ = 1;
 };
 

@@ -94,6 +94,11 @@ class Protocol {
 
   [[nodiscard]] virtual std::string_view name() const = 0;
 
+  /// Peak occupancy across this protocol's open-addressing tables (route /
+  /// history / upstream maps), 0 when the protocol keeps none.  Surfaced as
+  /// the `table_load` observability gauge in MetricsSummary.
+  [[nodiscard]] virtual double table_load() const { return 0.0; }
+
  protected:
   ProtocolHost& host() { return host_; }
   [[nodiscard]] const ProtocolHost& host() const { return host_; }

@@ -7,11 +7,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
+#include "util/flat_table.hpp"
 
 namespace rica::routing {
 
@@ -24,20 +24,22 @@ class HistoryTable {
   /// (RREQ vs CSI check vs LQ) never collide.
   bool seen_or_insert(net::NodeId origin, std::uint32_t bid,
                       std::uint8_t tag = 0) {
-    // Node ids are small (< 2^24), so (tag, origin, bid) packs losslessly.
+    // Node ids are small (< 2^24, enforced at node construction), so
+    // (tag, origin, bid) packs losslessly.
     const std::uint64_t key =
         ((static_cast<std::uint64_t>(tag) << 24 |
           static_cast<std::uint64_t>(origin))
          << 32) |
         bid;
-    return !seen_.insert(key).second;
+    return !seen_.insert(key);
   }
 
   void clear() { seen_.clear(); }
   [[nodiscard]] std::size_t size() const { return seen_.size(); }
+  [[nodiscard]] double load_factor() const { return seen_.load_factor(); }
 
  private:
-  std::unordered_set<std::uint64_t> seen_;
+  util::FlatSet64 seen_;
 };
 
 /// FIFO buffer holding data packets while a route is discovered/repaired.

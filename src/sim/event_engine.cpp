@@ -84,11 +84,12 @@ void EventEngine::place(std::uint32_t idx) {
   assert(s.at >= fired_floor_ &&
          "EventEngine: scheduling before an already-fired event");
   if (t <= cur_tick_) {
-    // At or behind the harvested tick: goes straight to the ready heap,
+    // At or behind the harvested tick: goes straight to the spill heap,
     // where (at, seq) ordering against every not-yet-fired event is exact
-    // (wheel buckets only hold strictly later ticks).
+    // (wheel buckets only hold strictly later ticks, and fire_next()
+    // interleaves the spill top with the sorted batch cursor).
     s.state = State::kReady;
-    ready_.push(ReadyEntry{s.at, s.seq, idx, s.gen});
+    spill_.push(ReadyEntry{s.at, s.seq, idx, s.gen});
     return;
   }
   const std::uint64_t x = t ^ cur_tick_;
@@ -158,12 +159,14 @@ bool EventEngine::pending(EventId id) const { return decode(id) != kNil; }
 void EventEngine::advance_wheel() {
   for (;;) {
     // A cascade (or overflow re-file) can land events exactly on the new
-    // bucket-start tick, which files them straight into the ready heap —
-    // that already is the progress this function owes its caller.
-    if (!ready_.empty()) return;
-    // Rung 0: harvest the earliest occupied bucket whole into the ready
-    // heap.  Every event in it shares the tick prefix above the low byte
-    // with cur_tick_, so the bucket's index *is* its tick order.
+    // bucket-start tick, which files them into the spill heap — that
+    // already is the progress this function owes its caller.
+    if (batch_pos_ < batch_.size() || !spill_.empty()) return;
+    // Rung 0: harvest the earliest occupied bucket *whole* into the flat
+    // batch and sort it once by (at, seq) — every event in it then fires
+    // off the cursor with no per-event heap churn.  Every event in the
+    // bucket shares the tick prefix above the low byte with cur_tick_, so
+    // the bucket's index *is* its tick order.
     {
       const auto& bm = occupied_[0];
       for (std::uint32_t w = 0; w < 4; ++w) {
@@ -174,13 +177,20 @@ void EventEngine::advance_wheel() {
         std::uint32_t it = wheel_[0][bidx];
         wheel_[0][bidx] = kNil;
         occupied_[0][w] &= ~(1ull << (bidx & 63));
+        batch_.clear();  // fully consumed: only stale entries could remain
+        batch_pos_ = 0;
         while (it != kNil) {
           Slot& s = slot(it);
           const std::uint32_t next = s.next;
           s.state = State::kReady;
-          ready_.push(ReadyEntry{s.at, s.seq, it, s.gen});
+          batch_.push_back(ReadyEntry{s.at, s.seq, it, s.gen});
           it = next;
         }
+        std::sort(batch_.begin(), batch_.end(),
+                  [](const ReadyEntry& a, const ReadyEntry& b) {
+                    if (a.at != b.at) return a.at < b.at;
+                    return a.seq < b.seq;
+                  });
         return;
       }
     }
@@ -235,28 +245,53 @@ void EventEngine::advance_wheel() {
 
 void EventEngine::ensure_ready() {
   for (;;) {
-    while (!ready_.empty()) {
-      const ReadyEntry& e = ready_.top();
+    // Skip batch entries cancelled since the harvest (generation mismatch).
+    while (batch_pos_ < batch_.size()) {
+      const ReadyEntry& e = batch_[batch_pos_];
       const Slot& s = slot(e.slot);
-      if (s.gen == e.gen && s.state == State::kReady) return;
-      ready_.pop();  // cancelled while in the ready heap
+      if (s.gen == e.gen && s.state == State::kReady) break;
+      ++batch_pos_;
     }
+    while (!spill_.empty()) {
+      const ReadyEntry& e = spill_.top();
+      const Slot& s = slot(e.slot);
+      if (s.gen == e.gen && s.state == State::kReady) break;
+      spill_.pop();  // cancelled while in the spill heap
+    }
+    if (batch_pos_ < batch_.size() || !spill_.empty()) return;
     assert(size_ > 0 && "ensure_ready() on empty EventEngine");
     advance_wheel();
   }
 }
 
+const EventEngine::ReadyEntry& EventEngine::peek_min() const {
+  // Both candidates are live (ensure_ready() just ran); pick the earlier
+  // (at, seq).  seq is unique, so the comparison is a strict total order.
+  if (batch_pos_ >= batch_.size()) return spill_.top();
+  const ReadyEntry& b = batch_[batch_pos_];
+  if (spill_.empty()) return b;
+  const ReadyEntry& s = spill_.top();
+  if (s.at != b.at) return s.at < b.at ? s : b;
+  return s.seq < b.seq ? s : b;
+}
+
 Time EventEngine::next_time() {
   assert(!empty() && "next_time() on empty EventEngine");
   ensure_ready();
-  return ready_.top().at;
+  return peek_min().at;
 }
 
 EventEngine::Fired EventEngine::fire_next() {
   assert(!empty() && "fire_next() on empty EventEngine");
   ensure_ready();
-  const ReadyEntry e = ready_.top();
-  ready_.pop();
+  const ReadyEntry e = peek_min();
+  if (batch_pos_ < batch_.size() && batch_[batch_pos_].slot == e.slot &&
+      batch_[batch_pos_].gen == e.gen) {
+    ++batch_pos_;
+    ++batched_fires_;
+  } else {
+    spill_.pop();
+  }
   Slot& s = slot(e.slot);
   const Fired fired{s.at, make_id(e.slot, s.gen)};
   fired_floor_ = s.at;

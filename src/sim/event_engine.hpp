@@ -13,24 +13,22 @@
 //     ticks) with per-rung occupancy bitmaps: schedule and pop are O(1)
 //     amortized — each event is touched at most once per rung as the clock
 //     cascades it downward;
-//   * a small "ready" min-heap holding only the events of the current tick,
-//     ordered by (time, seq).  This is what keeps the pop order *exactly*
-//     the legacy heap's deterministic (timestamp, FIFO-seq) order: every
-//     wheel bucket is harvested into the ready heap before any of its events
-//     fire, and the heap resolves sub-tick timestamps and same-timestamp
-//     ties by insertion sequence.
+//   * batch firing: each rung-0 bucket is harvested *whole* into a flat
+//     vector, sorted once by (time, seq), and consumed front-to-back — no
+//     per-event heap churn on the pop path.  Events scheduled at-or-behind
+//     the harvested tick mid-batch (e.g. a callback arming a zero-delay
+//     event) land in a small "spill" min-heap; fire_next() interleaves the
+//     batch cursor and the spill top by (at, seq), so the global pop order
+//     stays the exact deterministic (timestamp, FIFO-seq) order.  Fires
+//     consumed from the flat batch are counted in batched_fires().
 //
 // Time must advance monotonically at the firing boundary: scheduling
 // earlier than an already-fired event asserts in debug builds (it would
 // break the exact pop order) and fires as-soon-as-possible in release.
 // Scheduling behind the engine's *internal* clock is legal and exact —
 // next_time() may harvest buckets ahead of the caller's run horizon, and
-// such events simply join the ready heap, which orders every not-yet-fired
+// such events simply join the spill heap, which orders every not-yet-fired
 // event by (at, seq) regardless.
-//
-// The legacy std::function heap lives on in event_queue.hpp as a reference
-// implementation; tests assert full-stack runs are bit-identical across the
-// two backends.
 #pragma once
 
 #include <array>
@@ -55,17 +53,21 @@ namespace rica::sim {
 using EventId = std::uint64_t;
 
 /// Slab-backed four-rung timing-wheel event engine.  See the file comment
-/// for the design; the API mirrors the legacy EventQueue except that pop()
-/// is replaced by fire_next(), which invokes the callback in place (the
-/// record is recycled *before* invocation, so a callback may re-arm into
-/// its own — now cache-hot — slot).
+/// for the design; fire_next() invokes the callback in place (the record is
+/// recycled *before* invocation, so a callback may re-arm into its own —
+/// now cache-hot — slot).
 class EventEngine {
  public:
-  /// Inline capacity of an event record's callback buffer.  Sized to hold
-  /// the largest closure the stack schedules (the MAC's end-of-transmission
-  /// event: a queued control packet plus its receiver list) without any
-  /// heap traffic.
-  static constexpr std::size_t kInlineBytes = 128;
+  /// Inline capacity of an event record's callback buffer.  Sizing rule:
+  /// the measured largest closure the stack schedules, rounded up to a
+  /// power of two.  Per-transmission MAC state lives in the MAC's own
+  /// NodeState (common_channel.hpp), so every steady-state closure is a
+  /// few captured words; the largest (a std::function copy in a periodic
+  /// timer chain) is 40 bytes.  Anything larger falls back to one counted
+  /// heap cell — the golden suite asserts heap_fallbacks == 0 across the
+  /// full protocol × traffic matrix, so an oversized closure can't creep
+  /// in unnoticed.
+  static constexpr std::size_t kInlineBytes = 64;
 
   EventEngine();
   ~EventEngine();
@@ -129,6 +131,9 @@ class EventEngine {
   [[nodiscard]] std::size_t slab_high_water() const { return slab_high_water_; }
   /// Closures too large for the inline buffer (each cost one heap cell).
   [[nodiscard]] std::uint64_t heap_fallbacks() const { return heap_fallbacks_; }
+  /// Events fired straight off the sorted flat batch (no heap churn); the
+  /// remainder went through the spill heap.
+  [[nodiscard]] std::uint64_t batched_fires() const { return batched_fires_; }
 
  private:
   // Type-erased callable operations; one static table per closure type.
@@ -225,15 +230,18 @@ class EventEngine {
   std::uint32_t alloc_slot();
   void free_slot(std::uint32_t idx);
 
-  /// Files a freshly written slot into the ready heap / wheel / overflow.
+  /// Files a freshly written slot into the spill heap / wheel / overflow.
   void place(std::uint32_t idx);
   void link_bucket(int rung, std::uint32_t bidx, std::uint32_t idx);
   void unlink(std::uint32_t idx);
-  /// Guarantees the ready heap's top is a live entry (harvesting and
-  /// cascading wheel buckets as needed). Requires !empty().
+  /// Guarantees the batch cursor and spill top both sit on live entries
+  /// (harvesting and cascading wheel buckets as needed). Requires !empty().
   void ensure_ready();
   /// Harvests or cascades the next occupied wheel/overflow bucket.
   void advance_wheel();
+  /// The live entry with the smallest (at, seq): the batch cursor or the
+  /// spill top.  Requires ensure_ready() to have just run.
+  [[nodiscard]] const ReadyEntry& peek_min() const;
 
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::uint32_t free_head_ = kNil;
@@ -243,13 +251,19 @@ class EventEngine {
   std::array<std::vector<std::uint32_t>, kRungs> wheel_;  // bucket heads
   std::array<std::array<std::uint64_t, 4>, kRungs> occupied_{};  // bitmaps
   std::uint32_t overflow_head_ = kNil;
-  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyLater> ready_;
+  // The current tick's events: a bucket harvested whole, sorted once by
+  // (at, seq), consumed via batch_pos_.  The spill heap catches events
+  // place()d at-or-behind cur_tick_ while the batch is in flight.
+  std::vector<ReadyEntry> batch_;
+  std::size_t batch_pos_ = 0;
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>, ReadyLater> spill_;
 
   std::uint64_t cur_tick_ = 0;  ///< tick of the last harvested bucket
   Time fired_floor_ = Time::zero();  ///< guards the exact-order precondition
   std::uint64_t next_seq_ = 0;
   std::size_t size_ = 0;
   std::uint64_t heap_fallbacks_ = 0;
+  std::uint64_t batched_fires_ = 0;
 };
 
 }  // namespace rica::sim

@@ -3,39 +3,21 @@
 namespace rica::sim {
 
 void Simulator::run_until(Time end) {
-  if (use_legacy_) {
-    while (!legacy_.empty() && legacy_.next_time() <= end) {
-      auto fired = legacy_.pop();
-      now_ = fired.at;
-      ++events_executed_;
-      fired.cb();
-    }
-  } else {
-    while (!engine_.empty()) {
-      const Time t = engine_.next_time();
-      if (t > end) break;
-      now_ = t;
-      ++events_executed_;
-      engine_.fire_next();
-    }
+  while (!engine_.empty()) {
+    const Time t = engine_.next_time();
+    if (t > end) break;
+    now_ = t;
+    ++events_executed_;
+    engine_.fire_next();
   }
   if (end > now_) now_ = end;
 }
 
 void Simulator::run_all() {
-  if (use_legacy_) {
-    while (!legacy_.empty()) {
-      auto fired = legacy_.pop();
-      now_ = fired.at;
-      ++events_executed_;
-      fired.cb();
-    }
-  } else {
-    while (!engine_.empty()) {
-      now_ = engine_.next_time();
-      ++events_executed_;
-      engine_.fire_next();
-    }
+  while (!engine_.empty()) {
+    now_ = engine_.next_time();
+    ++events_executed_;
+    engine_.fire_next();
   }
 }
 

@@ -4,11 +4,10 @@
 // callbacks at absolute times or after relative delays; run_until() drains
 // events in timestamp order, advancing the clock monotonically.
 //
-// Two interchangeable backends exist: the production slab-backed timing
-// wheel (EventEngine) and the legacy std::function heap (EventQueue), kept
-// as a differential reference.  Both pop in exact (timestamp, schedule-seq)
-// order, so runs are bit-identical across backends for a fixed seed — the
-// event_engine test suite asserts this over the full protocol stack.
+// The event core is the slab-backed timing wheel (EventEngine), which pops
+// in exact (timestamp, schedule-seq) order — runs are bit-identical for a
+// fixed seed, and the golden test suite pins full-stack stream hashes
+// against captured references.
 #pragma once
 
 #include <cassert>
@@ -16,39 +15,25 @@
 #include <utility>
 
 #include "sim/event_engine.hpp"
-#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace rica::sim {
 
-/// Which event core a Simulator runs on.
-enum class EngineBackend : std::uint8_t {
-  kWheel,       ///< slab + four-rung timing wheel (production)
-  kLegacyHeap,  ///< std::function binary heap (differential reference)
-};
-
 /// Discrete-event simulation kernel: clock + event core + run loop.
 class Simulator {
  public:
-  explicit Simulator(EngineBackend backend = EngineBackend::kWheel)
-      : use_legacy_(backend == EngineBackend::kLegacyHeap) {}
+  Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulation time.
   [[nodiscard]] Time now() const { return now_; }
 
-  [[nodiscard]] EngineBackend backend() const {
-    return use_legacy_ ? EngineBackend::kLegacyHeap : EngineBackend::kWheel;
-  }
-
   /// Schedules `fn` at absolute time `when` (must not precede now()).
   template <typename F>
   EventId at(Time when, F&& fn) {
     assert(when >= now_ && "cannot schedule in the past");
-    const EventId id = use_legacy_
-                           ? legacy_.schedule(when, std::forward<F>(fn))
-                           : engine_.schedule(when, std::forward<F>(fn));
+    const EventId id = engine_.schedule(when, std::forward<F>(fn));
     note_scheduled();
     return id;
   }
@@ -57,22 +42,16 @@ class Simulator {
   template <typename F>
   EventId after(Time delay, F&& fn) {
     assert(delay >= Time::zero() && "negative delay");
-    const EventId id =
-        use_legacy_ ? legacy_.schedule(now_ + delay, std::forward<F>(fn))
-                    : engine_.schedule(now_ + delay, std::forward<F>(fn));
+    const EventId id = engine_.schedule(now_ + delay, std::forward<F>(fn));
     note_scheduled();
     return id;
   }
 
   /// Cancels a pending event; no-op if it already fired.
-  bool cancel(EventId id) {
-    return use_legacy_ ? legacy_.cancel(id) : engine_.cancel(id);
-  }
+  bool cancel(EventId id) { return engine_.cancel(id); }
 
   /// True while `id` refers to a still-pending event.
-  [[nodiscard]] bool pending(EventId id) const {
-    return use_legacy_ ? legacy_.pending(id) : engine_.pending(id);
-  }
+  [[nodiscard]] bool pending(EventId id) const { return engine_.pending(id); }
 
   /// Runs events with timestamp <= `end`, then sets the clock to `end`.
   void run_until(Time end);
@@ -88,26 +67,28 @@ class Simulator {
   }
 
   /// Number of pending events (for tests/diagnostics).
-  [[nodiscard]] std::size_t pending_events() const {
-    return use_legacy_ ? legacy_.size() : engine_.size();
-  }
+  [[nodiscard]] std::size_t pending_events() const { return engine_.size(); }
 
   /// Maximum simultaneously pending events seen so far.
   [[nodiscard]] std::size_t peak_pending_events() const {
     return peak_pending_;
   }
 
-  /// Event-record memory high-water mark: slots in use for the wheel
-  /// backend, heap entries (cancelled included) for the legacy backend.
+  /// Event-record memory high-water mark (slab slots in use at once).
   [[nodiscard]] std::size_t slab_high_water() const {
-    return use_legacy_ ? legacy_.heap_high_water() : engine_.slab_high_water();
+    return engine_.slab_high_water();
   }
 
-  /// Closures that outgrew the wheel's inline callback buffer and spilled
-  /// to a heap cell.  0 on the legacy backend, whose std::function storage
-  /// has no inline/spill distinction to report.
+  /// Closures that outgrew the engine's inline callback buffer and spilled
+  /// to a heap cell.
   [[nodiscard]] std::uint64_t heap_fallbacks() const {
-    return use_legacy_ ? 0 : engine_.heap_fallbacks();
+    return engine_.heap_fallbacks();
+  }
+
+  /// Events fired straight off the engine's sorted flat batch (the rest
+  /// went through the spill heap).
+  [[nodiscard]] std::uint64_t batched_fires() const {
+    return engine_.batched_fires();
   }
 
  private:
@@ -117,8 +98,6 @@ class Simulator {
   }
 
   EventEngine engine_;
-  EventQueue legacy_;
-  bool use_legacy_ = false;
   Time now_ = Time::zero();
   std::uint64_t events_executed_ = 0;
   std::size_t peak_pending_ = 0;

@@ -109,10 +109,21 @@ struct MetricsSummary {
   std::uint64_t events_executed = 0;       ///< events fired by the kernel
   std::uint64_t peak_pending_events = 0;   ///< max simultaneously pending
   std::uint64_t slab_high_water = 0;       ///< max event records in use
-  /// Closures that outgrew the engine's 128 B inline buffer and spilled to
-  /// a heap cell (wheel backend only; the data behind the inline-buffer
-  /// sizing decision).  Accumulates across trials like events_executed.
+  /// Closures that outgrew the engine's inline buffer
+  /// (sim::EventEngine::kInlineBytes) and spilled to a heap cell — the data
+  /// behind the inline-buffer sizing decision; the golden suite pins it to
+  /// zero.  Accumulates across trials like events_executed.
   std::uint64_t heap_fallbacks = 0;
+  /// Events fired off the engine's sorted same-tick batch (vs. the spill
+  /// heap); near events_executed when batching is effective.  Accumulates
+  /// across trials.
+  std::uint64_t batched_fires = 0;
+  /// Peak live entries across the stack's free-list pools (MAC control
+  /// queues + per-node data queues); per-trial maximum across trials.
+  std::uint64_t pool_high_water = 0;
+  /// Max open-addressing table occupancy observed at run end (routing /
+  /// history / link tables); per-trial maximum across trials.
+  double table_load = 0.0;
 };
 
 /// FNV-1a running hash (64-bit), folded one event record at a time.  Used

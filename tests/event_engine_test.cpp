@@ -1,20 +1,17 @@
 // Tests for the slab-backed timing-wheel event engine: a randomized
 // differential model test against a sorted-map reference, the deterministic
 // FIFO tie-break, generation-counted handle reuse safety, the oversized-
-// closure fallback, far-future (overflow) scheduling — and the acceptance
-// bar for the whole refactor: full-stack protocol runs must be bit-identical
-// between the wheel and the legacy std::function heap for a fixed seed.
+// closure fallback, far-future (overflow) scheduling, and the batch-fire
+// path (whole buckets fired off a sorted flat vector, interleaved exactly
+// with the spill heap).
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
-#include "harness/scenario.hpp"
 #include "sim/event_engine.hpp"
 #include "sim/random.hpp"
-#include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
 namespace rica::sim {
@@ -194,43 +191,45 @@ TEST(EventEngine, RandomizedModelAgainstSortedMapReference) {
 }
 
 // ---------------------------------------------------------------------------
-// Cross-backend determinism: the wheel and the legacy heap must produce
-// bit-identical full-stack runs for every protocol at the paper preset.
+// Batch-fire: whole rung-0 buckets fire off the sorted flat batch; events
+// scheduled at-or-behind the harvested tick mid-batch interleave exactly
+// through the spill heap.
 // ---------------------------------------------------------------------------
 
-void expect_identical(const stats::MetricsSummary& a,
-                      const stats::MetricsSummary& b) {
-  EXPECT_EQ(a.generated, b.generated);
-  EXPECT_EQ(a.delivered, b.delivered);
-  EXPECT_EQ(a.delivery_pct, b.delivery_pct);
-  EXPECT_EQ(a.avg_delay_ms, b.avg_delay_ms);
-  EXPECT_EQ(a.overhead_kbps, b.overhead_kbps);
-  EXPECT_EQ(a.avg_link_tput_kbps, b.avg_link_tput_kbps);
-  EXPECT_EQ(a.avg_hops, b.avg_hops);
-  EXPECT_EQ(a.drops, b.drops);
-  EXPECT_EQ(a.control_transmissions, b.control_transmissions);
-  EXPECT_EQ(a.control_collisions, b.control_collisions);
-  EXPECT_EQ(a.tput_kbps_series, b.tput_kbps_series);
-  EXPECT_EQ(a.counters, b.counters);
-  // Both backends execute the same events; only the record bookkeeping
-  // (peak/slab accounting) legitimately differs.
-  EXPECT_EQ(a.events_executed, b.events_executed);
+TEST(EventEngine, BatchFiresWholeBucketsWithoutHeapChurn) {
+  EventEngine q;
+  std::vector<int> order;
+  // 64 events inside one 4096 ns wheel tick, scheduled out of order.
+  for (int i = 63; i >= 0; --i) {
+    q.schedule(milliseconds(1) + nanoseconds(i), [&order, i] {
+      order.push_back(i);
+    });
+  }
+  while (!q.empty()) q.fire_next();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  // Nothing was scheduled mid-batch, so every fire came off the flat batch.
+  EXPECT_EQ(q.batched_fires(), 64u);
 }
 
-TEST(EventEngine, FullStackRunsMatchLegacyHeapForEveryProtocol) {
-  for (const auto proto : harness::kAllProtocols) {
-    harness::ScenarioConfig cfg = harness::preset_config("paper");
-    cfg.protocol = proto;
-    cfg.sim_s = 5.0;
-    cfg.seed = 20020707;  // fixed seed: the assertion is bit-identity
-    cfg.event_backend = EngineBackend::kWheel;
-    const auto wheel = harness::run_scenario(cfg);
-    cfg.event_backend = EngineBackend::kLegacyHeap;
-    const auto legacy = harness::run_scenario(cfg);
-    SCOPED_TRACE(std::string(harness::to_string(proto)));
-    expect_identical(wheel, legacy);
-    EXPECT_GT(wheel.events_executed, 0u);
-  }
+TEST(EventEngine, MidBatchSchedulingInterleavesExactly) {
+  EventEngine q;
+  std::vector<int> order;
+  // Three events in one wheel tick (past tick 0, so they are harvested as a
+  // batch); the first one's callback schedules a fourth between the other
+  // two, which must land in the spill heap and still fire in exact
+  // (at, seq) order.
+  const Time base = milliseconds(1);
+  q.schedule(base + nanoseconds(100), [&] {
+    order.push_back(1);
+    q.schedule(base + nanoseconds(150), [&] { order.push_back(2); });
+  });
+  q.schedule(base + nanoseconds(200), [&] { order.push_back(3); });
+  q.schedule(base + nanoseconds(300), [&] { order.push_back(4); });
+  while (!q.empty()) q.fire_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_GT(q.batched_fires(), 0u);
+  EXPECT_LT(q.batched_fires(), 4u);  // the mid-batch event spilled
 }
 
 }  // namespace

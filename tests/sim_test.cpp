@@ -1,14 +1,11 @@
 // Unit tests for the discrete-event kernel: time arithmetic, event ordering,
 // FIFO tie-breaking, cancellation, RAII timers, and RNG stream independence.
-// The EventQueue cases cover the legacy heap backend (kept as the wheel's
-// differential reference); EventEngine-specific cases live in
-// event_engine_test.cpp.
+// EventEngine-specific cases live in event_engine_test.cpp.
 #include <gtest/gtest.h>
 
 #include <utility>
 #include <vector>
 
-#include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -42,54 +39,6 @@ TEST(Time, ArithmeticAndComparison) {
   Time c = a;
   c += b;
   EXPECT_EQ(c, a + b);
-}
-
-TEST(EventQueue, PopsInTimeOrder) {
-  EventQueue q;
-  std::vector<int> order;
-  q.schedule(milliseconds(30), [&] { order.push_back(3); });
-  q.schedule(milliseconds(10), [&] { order.push_back(1); });
-  q.schedule(milliseconds(20), [&] { order.push_back(2); });
-  while (!q.empty()) q.pop().cb();
-  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-}
-
-TEST(EventQueue, FifoTieBreakAtSameTimestamp) {
-  EventQueue q;
-  std::vector<int> order;
-  for (int i = 0; i < 10; ++i) {
-    q.schedule(milliseconds(5), [&order, i] { order.push_back(i); });
-  }
-  while (!q.empty()) q.pop().cb();
-  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
-}
-
-TEST(EventQueue, CancelPreventsExecution) {
-  EventQueue q;
-  int fired = 0;
-  const EventId id = q.schedule(milliseconds(1), [&] { ++fired; });
-  q.schedule(milliseconds(2), [&] { ++fired; });
-  EXPECT_TRUE(q.cancel(id));
-  EXPECT_EQ(q.size(), 1u);
-  while (!q.empty()) q.pop().cb();
-  EXPECT_EQ(fired, 1);
-}
-
-TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire) {
-  EventQueue q;
-  const EventId id = q.schedule(milliseconds(1), [] {});
-  q.pop().cb();
-  EXPECT_FALSE(q.cancel(id));
-  EXPECT_FALSE(q.cancel(id));
-  EXPECT_FALSE(q.cancel(999'999));
-}
-
-TEST(EventQueue, NextTimeSkipsCancelledFront) {
-  EventQueue q;
-  const EventId early = q.schedule(milliseconds(1), [] {});
-  q.schedule(milliseconds(9), [] {});
-  q.cancel(early);
-  EXPECT_EQ(q.next_time(), milliseconds(9));
 }
 
 TEST(Simulator, ClockAdvancesWithEvents) {
@@ -162,21 +111,18 @@ TEST(Simulator, ScheduleAfterShortRunUntilStaysExact) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
-TEST(Simulator, LegacyBackendBehavesIdentically) {
-  for (const auto backend :
-       {EngineBackend::kWheel, EngineBackend::kLegacyHeap}) {
-    Simulator sim(backend);
-    std::vector<int> order;
-    sim.after(milliseconds(10), [&] { order.push_back(2); });
-    sim.after(milliseconds(5), [&] { order.push_back(1); });
-    const EventId id = sim.after(milliseconds(7), [&] { order.push_back(9); });
-    EXPECT_TRUE(sim.pending(id));
-    EXPECT_TRUE(sim.cancel(id));
-    EXPECT_FALSE(sim.pending(id));
-    sim.run_until(seconds(1));
-    EXPECT_EQ(order, (std::vector<int>{1, 2}));
-    EXPECT_EQ(sim.events_executed(), 2u);
-  }
+TEST(Simulator, CancelAndPendingRoundTrip) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(milliseconds(10), [&] { order.push_back(2); });
+  sim.after(milliseconds(5), [&] { order.push_back(1); });
+  const EventId id = sim.after(milliseconds(7), [&] { order.push_back(9); });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.pending(id));
+  sim.run_until(seconds(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.events_executed(), 2u);
 }
 
 TEST(Timer, FiresWhenArmed) {
