@@ -9,6 +9,16 @@
 // `--record-trace FILE` records this scenario's exact mobility realization
 // as a BonnMotion trace (`--trace-dt` sets the sample interval); replay it
 // with `--mobility trace:file=FILE`.
+//
+// Observability: `--trace-out run.jsonl` streams structured packet/route/
+// kernel lifecycle records (narrow with `--trace-filter packet,route`);
+// `--perfetto-out run.json` writes a Chrome trace_event profile — open
+// chrome://tracing (or https://ui.perfetto.dev) and load the file to see
+// per-link data transmissions, per-node control traffic, and kernel
+// counters on a shared timeline; `--series-out run.csv --sample-dt 0.5`
+// samples queue depth / delivery rate / control overhead every 0.5 s.
+// All sim-time stamped: rerunning the same seed reproduces every output
+// byte for byte.
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -32,6 +42,11 @@ int main(int argc, char** argv) {
     cfg.mobility = flags.get("mobility", cfg.mobility);
     cfg.traffic = flags.get("traffic", cfg.traffic);
     cfg.seed = flags.get("seed", static_cast<std::uint64_t>(1));
+    cfg.trace_out = flags.get("trace-out", std::string{});
+    cfg.trace_filter = flags.get("trace-filter", cfg.trace_filter);
+    cfg.perfetto_out = flags.get("perfetto-out", std::string{});
+    cfg.series_out = flags.get("series-out", std::string{});
+    cfg.sample_dt_s = flags.get("sample-dt", 0.0);
 
     std::printf("protocol=%s  nodes=%zu  field=%.0fm  mean speed=%.1f km/h\n",
                 std::string(harness::to_string(cfg.protocol)).c_str(),
@@ -75,13 +90,25 @@ int main(int argc, char** argv) {
     std::printf("control transmissions : %llu (%llu collided receptions)\n",
                 static_cast<unsigned long long>(r.control_transmissions),
                 static_cast<unsigned long long>(r.control_collisions));
-    std::printf("drops: overflow=%llu expired=%llu no-route=%llu "
+    std::printf("drops: total=%llu overflow=%llu expired=%llu no-route=%llu "
                 "link-break=%llu loop-cap=%llu\n",
+                static_cast<unsigned long long>(r.dropped),
                 static_cast<unsigned long long>(r.drops[0]),
                 static_cast<unsigned long long>(r.drops[1]),
                 static_cast<unsigned long long>(r.drops[2]),
                 static_cast<unsigned long long>(r.drops[3]),
                 static_cast<unsigned long long>(r.drops[4]));
+    if (!cfg.trace_out.empty()) {
+      std::printf("structured trace      : %s\n", cfg.trace_out.c_str());
+    }
+    if (!cfg.perfetto_out.empty()) {
+      std::printf("kernel profile        : %s (open in chrome://tracing or"
+                  " ui.perfetto.dev)\n",
+                  cfg.perfetto_out.c_str());
+    }
+    if (!cfg.series_out.empty()) {
+      std::printf("time series           : %s\n", cfg.series_out.c_str());
+    }
     if (flags.has("verbose")) {
       std::printf("\nper-flow (gen/del/drop, tput kbps, p95 ms):\n");
       for (const auto& fs : r.flow_summaries) {
@@ -95,6 +122,12 @@ int main(int argc, char** argv) {
       for (const auto& [name, value] : r.counters) {
         std::printf("  %-28s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
+      }
+      std::printf("\nregistry (c=counter, g=gauge):\n");
+      for (const auto& [name, s] : r.stats) {
+        std::printf("  %c %-26s %.2f\n",
+                    s.kind == rica::obs::StatKind::kCounter ? 'c' : 'g',
+                    name.c_str(), s.value);
       }
     }
     return 0;

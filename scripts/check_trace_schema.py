@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Structured-trace validator for CI's trace-smoke job.
+
+Checks a JSONL trace produced by `--trace-out` line by line: every line must
+parse as a JSON object, carry a known `type`, provide that type's full key
+set, and use a stage from the documented vocabulary.  Sim-time stamps must
+be non-decreasing across the file (records are emitted in event-execution
+order).  Optionally also validates a `--perfetto` trace_event JSON (it must
+parse and contain the metadata/slice/counter phases chrome://tracing needs)
+and a `--series` CSV (header + fixed column count per row).
+
+Stdlib only.  Exit status 0 when every check passes, 1 otherwise.
+
+Usage: check_trace_schema.py TRACE.jsonl [--perfetto FILE] [--series FILE]
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMAS = {
+    "packet": {
+        "keys": ["type", "stage", "t_ns", "flow", "seq", "node", "src",
+                 "dst", "peer", "hops", "bytes", "detail"],
+        "stages": {"generated", "enqueued", "tx_start", "tx_end", "tx_fail",
+                   "forwarded", "delivered", "dropped"},
+    },
+    "route": {
+        "keys": ["type", "stage", "t_ns", "node", "src", "dst", "bid",
+                 "metric", "protocol", "msg"],
+        "stages": {"discovery_start", "discovery_retry", "discovery_failed",
+                   "control_tx", "control_lost", "established",
+                   "repair_start", "repaired", "link_break",
+                   "topology_install"},
+    },
+    "kernel": {
+        "keys": ["type", "t_ns", "events_executed", "batched_fires",
+                 "pending"],
+        "stages": None,
+    },
+}
+
+
+def check_jsonl(path):
+    errors = []
+    counts = {}
+    last_t = -1
+    with open(path, "rb") as fh:
+        for num, raw in enumerate(fh, 1):
+            where = f"{path}:{num}"
+            try:
+                rec = json.loads(raw)
+            except json.JSONDecodeError as e:
+                errors.append(f"{where}: not valid JSON ({e})")
+                continue
+            rtype = rec.get("type")
+            schema = SCHEMAS.get(rtype)
+            if schema is None:
+                errors.append(f"{where}: unknown record type {rtype!r}")
+                continue
+            counts[rtype] = counts.get(rtype, 0) + 1
+            keys = list(rec.keys())
+            if keys != schema["keys"]:
+                errors.append(
+                    f"{where}: {rtype} keys {keys} != {schema['keys']}")
+            if schema["stages"] is not None:
+                stage = rec.get("stage")
+                if stage not in schema["stages"]:
+                    errors.append(f"{where}: unknown {rtype} stage {stage!r}")
+            t = rec.get("t_ns")
+            if not isinstance(t, int) or t < 0:
+                errors.append(f"{where}: t_ns must be a non-negative integer")
+            elif t < last_t:
+                errors.append(
+                    f"{where}: t_ns {t} went backwards (prev {last_t})")
+            else:
+                last_t = t
+    total = sum(counts.values())
+    if total == 0:
+        errors.append(f"{path}: empty trace")
+    print(f"{path}: {total} records "
+          + " ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+    return errors
+
+
+def check_perfetto(path):
+    errors = []
+    try:
+        with open(path, "rb") as fh:
+            doc = json.load(fh)
+    except json.JSONDecodeError as e:
+        return [f"{path}: not valid JSON ({e})"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path}: missing or empty traceEvents array"]
+    phases = {e.get("ph") for e in events}
+    for needed in ("M", "X", "C"):
+        if needed not in phases:
+            errors.append(f"{path}: no ph={needed!r} events")
+    for e in events:
+        if e.get("ph") in ("X", "C") and "ts" not in e:
+            errors.append(f"{path}: event missing ts: {e}")
+            break
+    print(f"{path}: {len(events)} trace events, phases "
+          + ",".join(sorted(p for p in phases if p)))
+    return errors
+
+
+def check_series(path):
+    errors = []
+    with open(path) as fh:
+        header = fh.readline().rstrip("\n")
+        want = ("t_s,pending_events,events_executed,buffered_packets,"
+                "delivered,delivery_rate_pps,control_kbps")
+        if header != want:
+            errors.append(f"{path}: header {header!r} != {want!r}")
+        ncols = len(want.split(","))
+        rows = 0
+        for num, line in enumerate(fh, 2):
+            cells = line.rstrip("\n").split(",")
+            if len(cells) != ncols:
+                errors.append(f"{path}:{num}: {len(cells)} columns, "
+                              f"expected {ncols}")
+            rows += 1
+        if rows == 0:
+            errors.append(f"{path}: no sample rows")
+    print(f"{path}: {rows} sample rows")
+    return errors
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="JSONL trace from --trace-out")
+    ap.add_argument("--perfetto", help="trace_event JSON from --perfetto-out")
+    ap.add_argument("--series", help="time-series CSV from --series-out")
+    args = ap.parse_args(argv[1:])
+
+    errors = check_jsonl(args.trace)
+    if args.perfetto:
+        errors += check_perfetto(args.perfetto)
+    if args.series:
+        errors += check_series(args.series)
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

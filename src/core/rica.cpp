@@ -169,6 +169,8 @@ void RicaProtocol::begin_discovery(net::FlowKey flow) {
   s.discovering = true;
   s.attempts = 1;
   host().count("rica.discovery");
+  host().trace_route("discovery_start", net::flow_src(flow),
+                     net::flow_dst(flow));
   send_rreq(flow);
 }
 
@@ -197,9 +199,13 @@ void RicaProtocol::send_rreq(net::FlowKey flow) {
         host().drop_data(p, stats::DropReason::kNoRoute);
       }
       st.discovering = false;
+      host().trace_route("discovery_failed", net::flow_src(flow),
+                         net::flow_dst(flow), bid);
       return;
     }
     ++st.attempts;
+    host().trace_route("discovery_retry", net::flow_src(flow),
+                       net::flow_dst(flow), bid);
     send_rreq(flow);
   });
 }
@@ -273,6 +279,8 @@ void RicaProtocol::on_rrep(const net::RrepMsg& msg, net::NodeId from) {
     s.route_csi_cost = msg.csi_hops;
     s.discovering = false;
     s.discovery_timer.cancel();
+    host().trace_route("established", msg.src, msg.dst, msg.bid,
+                       msg.csi_hops);
     // The first packets announce the (new) route to the relays.
     s.update_flag_until = now() + cfg_.update_flag_window;
     flush_pending(flow, s);
@@ -441,6 +449,8 @@ void RicaProtocol::switch_route(net::FlowKey flow, SourceState& s,
   s.route_csi_cost = chosen.csi_hops;
   s.update_flag_until = now() + cfg_.update_flag_window;
   host().count("rica.route_switch");
+  host().trace_route("repaired", net::flow_src(flow), net::flow_dst(flow), 0,
+                     chosen.csi_hops);
   host().send_control(net::make_control(
       chosen.first_hop,
       net::RupdMsg{net::flow_src(flow), net::flow_dst(flow)}));
@@ -521,6 +531,7 @@ double RicaProtocol::table_load() const {
 void RicaProtocol::on_link_break(net::NodeId neighbor,
                                  std::vector<net::DataPacket> stranded) {
   host().count("rica.link_break");
+  host().trace_route("link_break", host().id(), neighbor);
   for (const auto& p : stranded) {
     host().drop_data(p, stats::DropReason::kLinkBreak);
   }

@@ -10,6 +10,10 @@
 #include "core/rica.hpp"
 #include "mobility/mobility_model.hpp"
 #include "net/network.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "routing/abr/abr.hpp"
 #include "routing/aodv/aodv.hpp"
 #include "routing/bgca/bgca.hpp"
@@ -233,6 +237,52 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   }
   net::Network network(to_network_config(cfg));
   install_protocols(network, cfg);
+
+  // Observability attachments — all optional.  With none requested the
+  // tracer keeps its null sink, every emission guard stays false, and the
+  // run is bit-identical to a pre-observability one.  The sinks are
+  // detached before this function returns (see below), so their lifetimes
+  // never have to outlast the network.
+  obs::Tracer& tracer = network.metrics().tracer();
+  obs::TraceFilter filter = obs::TraceFilter::kNone;
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  std::unique_ptr<obs::PerfettoWriter> perfetto;
+  std::unique_ptr<obs::KernelProbe> probe;
+  std::unique_ptr<obs::SeriesSampler> sampler;
+  if (!cfg.trace_out.empty()) {
+    filter = obs::parse_trace_filter(cfg.trace_filter);
+    trace_sink = std::make_unique<obs::JsonlTraceSink>(cfg.trace_out);
+    tracer.attach(trace_sink.get(), filter);
+  }
+  if (!cfg.perfetto_out.empty()) {
+    perfetto = std::make_unique<obs::PerfettoWriter>(cfg.perfetto_out);
+    tracer.set_perfetto(perfetto.get());
+  }
+  if (perfetto != nullptr || obs::has(filter, obs::TraceFilter::kKernel)) {
+    probe = std::make_unique<obs::KernelProbe>(&tracer, perfetto.get());
+    // ~200 observation windows per run keeps the kernel series readable at
+    // any simulated duration (the observer throttles to this interval).
+    network.simulator().set_kernel_observer(
+        probe.get(), sim::seconds_f(cfg.sim_s / 200.0));
+  }
+  if (cfg.sample_dt_s > 0.0 && cfg.series_out.empty()) {
+    throw std::invalid_argument("--sample-dt requires --series-out FILE");
+  }
+  if (!cfg.series_out.empty()) {
+    obs::SeriesSource source;
+    source.delivered = [&network] { return network.metrics().delivered(); };
+    source.control_bits = [&network] {
+      return network.metrics().control_bits();
+    };
+    source.buffered_packets = [&network] {
+      return network.buffered_packets();
+    };
+    sampler =
+        std::make_unique<obs::SeriesSampler>(cfg.series_out, std::move(source));
+    const double dt_s = cfg.sample_dt_s > 0.0 ? cfg.sample_dt_s : 1.0;
+    sampler->start(network.simulator(), sim::seconds_f(dt_s),
+                   sim::seconds_f(cfg.sim_s));
+  }
   if (cfg.warmup_s > 0.0) {
     // One epoch-reset event ends the transient; it never reorders the rest
     // of the run, so a warmed-up run executes the exact event stream of a
@@ -257,14 +307,37 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   generator->start();
   network.simulator().run_until(sim::seconds_f(cfg.sim_s));
   auto summary = network.metrics().finalize(sim::seconds_f(cfg.sim_s));
-  const auto& sim = network.simulator();
-  summary.events_executed = sim.events_executed();
-  summary.peak_pending_events = sim.peak_pending_events();
-  summary.slab_high_water = sim.slab_high_water();
-  summary.heap_fallbacks = sim.heap_fallbacks();
-  summary.batched_fires = sim.batched_fires();
-  summary.pool_high_water = network.pool_high_water();
-  summary.table_load = network.table_load();
+
+  // Every scalar statistic flows through the registry snapshot: one
+  // registration in Network's constructor is the whole plumbing for a new
+  // entry.  The legacy typed fields below are views into the snapshot kept
+  // for existing callers (the golden suite pins them against the hashes).
+  for (auto& s : network.registry().snapshot()) {
+    summary.stats.emplace(s.name, std::move(s));
+  }
+  const auto stat = [&summary](const char* name) {
+    const auto it = summary.stats.find(name);
+    return it == summary.stats.end() ? 0.0 : it->second.value;
+  };
+  summary.events_executed =
+      static_cast<std::uint64_t>(stat("kernel.events_executed"));
+  summary.batched_fires =
+      static_cast<std::uint64_t>(stat("kernel.batched_fires"));
+  summary.heap_fallbacks =
+      static_cast<std::uint64_t>(stat("kernel.heap_fallbacks"));
+  summary.peak_pending_events =
+      static_cast<std::uint64_t>(stat("kernel.peak_pending"));
+  summary.slab_high_water =
+      static_cast<std::uint64_t>(stat("kernel.slab_high_water"));
+  summary.pool_high_water =
+      static_cast<std::uint64_t>(stat("stack.pool_high_water"));
+  summary.table_load = stat("stack.table_load");
+
+  // Detach before the sinks (declared after the network) are destroyed, so
+  // nothing emitted during teardown can reach a dead sink.
+  tracer.attach(nullptr, obs::TraceFilter::kNone);
+  tracer.set_perfetto(nullptr);
+  network.simulator().set_kernel_observer(nullptr, sim::Time::zero());
   return summary;
 }
 
@@ -298,6 +371,11 @@ ScenarioResult average(const std::vector<ScenarioResult>& runs) {
     for (std::size_t i = 0; i < stats::kNumDropReasons; ++i) {
       avg.drops[i] += r.drops[i];
     }
+    avg.dropped += r.dropped;
+    // Registry samples fold by their own kind — counters sum, gauges keep
+    // the max — so a newly registered statistic aggregates correctly with
+    // no edit here.
+    obs::fold_samples(avg.stats, r.stats);
     // Trial hashes fold in trial order: the aggregate is itself a golden
     // fingerprint of the whole multi-trial cell.
     avg.stream_hash = stats::fnv1a(avg.stream_hash == 0

@@ -58,6 +58,17 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   /// RICA tunables used when protocol == kRica (ablation studies).
   core::RicaConfig rica{};
+  // -- observability (all off by default) -----------------------------------
+  // None of these fields joins trial_seed hashing or perturbs the event
+  // stream feeding the metrics hash, so an instrumented run replays the
+  // exact seeds — and golden hashes — of an uninstrumented one.  (A run
+  // with sampling enabled does execute extra sampler events, moving
+  // events_executed; the stream hash never sees them.)
+  std::string trace_out;    ///< JSONL structured-trace path ("" = off)
+  std::string trace_filter = "all";  ///< packet|route|kernel|all comma list
+  std::string perfetto_out;  ///< Chrome trace_event JSON path ("" = off)
+  std::string series_out;    ///< time-series CSV path ("" = off)
+  double sample_dt_s = 0.0;  ///< series sampling period; 0 = 1 s default
 };
 
 /// A named workload preset: the paper's baseline plus the larger/denser

@@ -111,7 +111,9 @@ std::vector<SweepPoint> run_speed_sweep(
       std::fprintf(stderr,
                    "[sweep]   done %-9s %-12s %-12s speed=%5.1f: events=%llu"
                    " batched=%llu peak_pending=%llu slab_hw=%llu heap_fb=%llu"
-                   " pool_hw=%llu table_load=%.2f\n",
+                   " pool_hw=%llu table_load=%.2f\n"
+                   "[sweep]        drops=%llu (overflow=%llu expired=%llu"
+                   " no_route=%llu link_break=%llu loop_cap=%llu)\n",
                    std::string(to_string(cell.protocol)).c_str(),
                    cell.mobility.c_str(), cell.traffic.c_str(),
                    cell.mean_speed_kmh,
@@ -125,7 +127,13 @@ std::vector<SweepPoint> run_speed_sweep(
                        cell.result.heap_fallbacks),
                    static_cast<unsigned long long>(
                        cell.result.pool_high_water),
-                   cell.result.table_load);
+                   cell.result.table_load,
+                   static_cast<unsigned long long>(cell.result.dropped),
+                   static_cast<unsigned long long>(cell.result.drops[0]),
+                   static_cast<unsigned long long>(cell.result.drops[1]),
+                   static_cast<unsigned long long>(cell.result.drops[2]),
+                   static_cast<unsigned long long>(cell.result.drops[3]),
+                   static_cast<unsigned long long>(cell.result.drops[4]));
     }
   };
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/perfetto.hpp"
+
 namespace rica::mac {
 
 namespace {
@@ -26,6 +28,15 @@ CommonChannelMac::CommonChannelMac(sim::Simulator& sim,
 
 std::size_t CommonChannelMac::pool_high_water() const {
   return ctrl_pool_.high_water();
+}
+
+void CommonChannelMac::trace_control(std::string_view stage, net::NodeId node,
+                                     const net::ControlPacket& pkt) {
+  auto& tracer = metrics_.tracer();
+  if (!tracer.route_on()) return;
+  const auto info = obs::control_info(pkt.payload);
+  tracer.route(obs::RouteTrace{stage, sim_.now(), node, info.src, info.dst,
+                               info.bid, 0.0, {}, info.name});
 }
 
 void CommonChannelMac::register_node(net::NodeId id, RxHandler handler) {
@@ -109,6 +120,14 @@ void CommonChannelMac::start_tx(net::NodeId id) {
   // transmissions that overlap its own.
   st.heard.push_back(Interval{st.tx_start, st.tx_end, st.tx_id});
   metrics_.on_control_tx(st.in_flight.pkt.size_bytes * 8u);
+  trace_control("control_tx", id, st.in_flight.pkt);
+  if (auto* writer = metrics_.tracer().perfetto()) {
+    // Half duplex: one transmission per node at a time, so one track per
+    // terminal holds non-overlapping slices.
+    const auto info = obs::control_info(st.in_flight.pkt.payload);
+    writer->slice(obs::PerfettoWriter::kControlPid, id, "control", info.name,
+                  st.tx_start, st.tx_end - st.tx_start);
+  }
 
   // All per-transmission state lives in NodeState (half duplex guarantees
   // one in-flight tx per node), so the event captures two words — well
@@ -142,6 +161,7 @@ void CommonChannelMac::end_of_tx(net::NodeId id) {
         rst.transmitting;
     if (collided) {
       metrics_.on_control_collision();
+      trace_control("control_lost", r, pkt);
       continue;
     }
     unicast_ok = true;

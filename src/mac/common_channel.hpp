@@ -107,6 +107,10 @@ class CommonChannelMac {
 
   void schedule_attempt(net::NodeId id, sim::Time delay);
   void attempt(net::NodeId id);
+  /// Route-lifecycle trace emission for control transmissions and
+  /// collision losses (no-op with no sink attached).
+  void trace_control(std::string_view stage, net::NodeId node,
+                     const net::ControlPacket& pkt);
   void start_tx(net::NodeId id);
   void end_of_tx(net::NodeId id);
   [[nodiscard]] bool medium_busy(const NodeState& st, sim::Time now) const;

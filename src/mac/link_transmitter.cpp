@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <string>
 #include <utility>
+
+#include "obs/perfetto.hpp"
 
 namespace rica::mac {
 
@@ -22,6 +26,25 @@ std::size_t LinkTransmitter::pool_high_water() const {
   return data_pool_.high_water();
 }
 
+void LinkTransmitter::trace_pkt(std::string_view stage,
+                                const net::DataPacket& pkt, net::NodeId peer,
+                                std::string_view detail) {
+  auto& tracer = metrics_.tracer();
+  if (!tracer.packet_on()) return;
+  tracer.packet(obs::PacketTrace{stage, sim_.now(), pkt.flow, pkt.seq, self_,
+                                 pkt.src, pkt.dst,
+                                 static_cast<std::int64_t>(peer), pkt.hops,
+                                 pkt.size_bytes, detail});
+}
+
+std::uint32_t LinkTransmitter::perfetto_tid(net::NodeId neighbor) {
+  auto* writer = metrics_.tracer().perfetto();
+  assert(writer != nullptr);
+  char label[32];
+  std::snprintf(label, sizeof(label), "link %u->%u", self_, neighbor);
+  return writer->track(obs::PerfettoWriter::kDataPid, label);
+}
+
 void LinkTransmitter::enqueue(net::DataPacket pkt, net::NodeId next_hop) {
   assert(next_hop != self_ && "cannot enqueue to self");
   if (pkt.hops >= cfg_.hop_cap) {
@@ -33,6 +56,7 @@ void LinkTransmitter::enqueue(net::DataPacket pkt, net::NodeId next_hop) {
     if (on_drop_) on_drop_(pkt, stats::DropReason::kBufferOverflow);
     return;
   }
+  trace_pkt("enqueued", pkt, next_hop);
   link.q.emplace_back(Queued{std::move(pkt), sim_.now()});
   pump(next_hop);
 }
@@ -83,7 +107,7 @@ void LinkTransmitter::tx_attempt(net::NodeId neighbor) {
 
   const auto sample = channel_.sample(self_, neighbor, sim_.now());
   if (!sample) {
-    fail(neighbor);
+    fail(neighbor, "no_channel");
     return;
   }
   const double rate = channel::throughput_bps(sample->csi);
@@ -92,11 +116,20 @@ void LinkTransmitter::tx_attempt(net::NodeId neighbor) {
   const sim::Time ack_time = sim::seconds_f(cfg_.ack_bytes * 8.0 / rate);
   const auto csi = sample->csi;
 
+  trace_pkt("tx_start", pkt, neighbor);
+  if (auto* writer = metrics_.tracer().perfetto()) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "flow%u#%u", pkt.flow, pkt.seq);
+    writer->slice(obs::PerfettoWriter::kDataPid, perfetto_tid(neighbor),
+                  "data", name, sim_.now(), data_time);
+  }
+
   link.timer.arm_after(sim_, data_time, [this, neighbor, csi, ack_time] {
     auto& lnk = this->link(neighbor);
     if (!lnk.busy || lnk.q.empty()) return;  // link was torn down meanwhile
     if (!channel_.in_range(self_, neighbor, sim_.now())) {
-      fail(neighbor);  // receiver moved away mid-packet: no ACK will come
+      // Receiver moved away mid-packet: no ACK will come.
+      fail(neighbor, "receiver_moved");
       return;
     }
     // Reception succeeded; the receiver acknowledges on PN(B,A).  ACK bits
@@ -107,6 +140,7 @@ void LinkTransmitter::tx_attempt(net::NodeId neighbor) {
     lnk.retries = 0;
     delivered.hops = static_cast<std::uint16_t>(delivered.hops + 1);
     delivered.tput_sum_bps += channel::throughput_bps(csi);
+    trace_pkt("tx_end", delivered, neighbor);
     if (deliver_) deliver_(std::move(delivered), neighbor);
     // The sender frees the code once the ACK lands (rearming from inside
     // the timer's own callback: the airtime event is already dead).
@@ -117,8 +151,9 @@ void LinkTransmitter::tx_attempt(net::NodeId neighbor) {
   });
 }
 
-void LinkTransmitter::fail(net::NodeId neighbor) {
+void LinkTransmitter::fail(net::NodeId neighbor, std::string_view cause) {
   auto& link = this->link(neighbor);
+  if (!link.q.empty()) trace_pkt("tx_fail", link.q.front().pkt, neighbor, cause);
   ++link.retries;
   if (link.retries > cfg_.max_retries) {
     declare_break(neighbor);

@@ -98,8 +98,15 @@ class LinkTransmitter {
 
   void pump(net::NodeId neighbor);
   void tx_attempt(net::NodeId neighbor);
-  void fail(net::NodeId neighbor);
+  void fail(net::NodeId neighbor, std::string_view cause);
   void declare_break(net::NodeId neighbor);
+
+  /// Packet-lifecycle trace emission for this node's data plane (no-op
+  /// with no sink attached).
+  void trace_pkt(std::string_view stage, const net::DataPacket& pkt,
+                 net::NodeId peer, std::string_view detail = {});
+  /// This directed link's Perfetto data-plane track (allocated lazily).
+  std::uint32_t perfetto_tid(net::NodeId neighbor);
 
   net::NodeId self_;
   sim::Simulator& sim_;

@@ -38,6 +38,33 @@ Network::Network(const NetworkConfig& cfg)
       nodes_.at(to)->receive_data(std::move(pkt), from);
     });
   }
+
+  // One registration per statistic: the harness snapshots this registry
+  // into MetricsSummary::stats, which is where the summary's typed kernel
+  // fields and the sweep's fold rules read from.  Counters sum across
+  // trials; gauges keep the per-trial maximum.
+  registry_.counter_fn("kernel.events_executed", [this] {
+    return static_cast<double>(sim_.events_executed());
+  });
+  registry_.counter_fn("kernel.batched_fires", [this] {
+    return static_cast<double>(sim_.batched_fires());
+  });
+  registry_.counter_fn("kernel.heap_fallbacks", [this] {
+    return static_cast<double>(sim_.heap_fallbacks());
+  });
+  registry_.gauge_fn("kernel.peak_pending", [this] {
+    return static_cast<double>(sim_.peak_pending_events());
+  });
+  registry_.gauge_fn("kernel.slab_high_water", [this] {
+    return static_cast<double>(sim_.slab_high_water());
+  });
+  registry_.gauge_fn("stack.pool_high_water", [this] {
+    return static_cast<double>(pool_high_water());
+  });
+  registry_.gauge_fn("stack.table_load", [this] { return table_load(); });
+  registry_.gauge_fn("stack.buffered_packets", [this] {
+    return static_cast<double>(buffered_packets());
+  });
 }
 
 std::size_t Network::pool_high_water() const {
@@ -50,6 +77,12 @@ double Network::table_load() const {
   double lf = 0.0;
   for (const auto& n : nodes_) lf = std::max(lf, n->table_load());
   return lf;
+}
+
+std::uint64_t Network::buffered_packets() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->buffered_count();
+  return total;
 }
 
 void Network::start() {

@@ -11,6 +11,7 @@
 #include "mac/link_transmitter.hpp"
 #include "mobility/mobility_model.hpp"
 #include "net/node.hpp"
+#include "obs/registry.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "stats/metrics.hpp"
@@ -65,6 +66,17 @@ class Network {
   /// history tables, link tables).
   [[nodiscard]] double table_load() const;
 
+  /// Data packets currently buffered across every node's link queues (the
+  /// sampler's queue-occupancy column).
+  [[nodiscard]] std::uint64_t buffered_packets() const;
+
+  /// The run's metrics registry.  The network registers every kernel and
+  /// stack statistic here at construction; the harness snapshots it into
+  /// MetricsSummary::stats after the run.  Adding a statistic means adding
+  /// one registration here — the summary, sweep folding, and serialized
+  /// output all pick it up from the snapshot.
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+
   /// Installs one network-wide observer of final packet deliveries (the
   /// feedback path closed-loop traffic models ride on).  Called after
   /// metrics accounting; installing a new observer replaces the previous
@@ -80,6 +92,7 @@ class Network {
   stats::MetricsCollector metrics_;
   mac::CommonChannelMac common_mac_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  obs::Registry registry_;
 };
 
 }  // namespace rica::net

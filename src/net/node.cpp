@@ -24,7 +24,17 @@ Node::Node(NodeId id, sim::Simulator& sim, channel::ChannelModel& channel,
   });
   links_.set_on_drop([this](const DataPacket& pkt, stats::DropReason reason) {
     metrics_.on_dropped(pkt, reason);
+    trace_packet("dropped", pkt, -1, stats::to_string(reason));
   });
+}
+
+void Node::trace_packet(std::string_view stage, const DataPacket& pkt,
+                        std::int64_t peer, std::string_view detail) {
+  auto& tracer = metrics_.tracer();
+  if (!tracer.packet_on()) return;
+  tracer.packet(obs::PacketTrace{stage, sim_.now(), pkt.flow, pkt.seq, id_,
+                                 pkt.src, pkt.dst, peer, pkt.hops,
+                                 pkt.size_bytes, detail});
 }
 
 void Node::set_protocol(std::unique_ptr<routing::Protocol> protocol) {
@@ -42,10 +52,12 @@ void Node::start() {
 
 void Node::originate(DataPacket pkt) {
   metrics_.on_generated(pkt);
+  trace_packet("generated", pkt, -1);
   protocol_->handle_data(std::move(pkt), id_);
 }
 
 void Node::receive_data(DataPacket pkt, NodeId from) {
+  if (pkt.dst != id_) trace_packet("forwarded", pkt, from);
   protocol_->handle_data(std::move(pkt), from);
 }
 
@@ -68,11 +80,13 @@ void Node::forward_data(DataPacket pkt, NodeId next_hop) {
 void Node::deliver_local(const DataPacket& pkt) {
   assert(pkt.dst == id_ && "deliver_local on a transit packet");
   metrics_.on_delivered(pkt, sim_.now());
+  trace_packet("delivered", pkt, -1);
   if (delivery_observer_) delivery_observer_(pkt);
 }
 
 void Node::drop_data(const DataPacket& pkt, stats::DropReason reason) {
   metrics_.on_dropped(pkt, reason);
+  trace_packet("dropped", pkt, -1, stats::to_string(reason));
 }
 
 std::vector<DataPacket> Node::drain_queue(NodeId neighbor) {
@@ -83,6 +97,16 @@ std::size_t Node::buffered_count() const { return links_.buffered(); }
 
 void Node::count(const std::string& name, std::uint64_t by) {
   metrics_.inc(name, by);
+}
+
+void Node::trace_route(std::string_view stage, NodeId src, NodeId dst,
+                       std::uint32_t bid, double metric) {
+  auto& tracer = metrics_.tracer();
+  if (!tracer.route_on()) return;
+  tracer.route(obs::RouteTrace{stage, sim_.now(), id_, src, dst, bid, metric,
+                               protocol_ ? protocol_->name()
+                                         : std::string_view{},
+                               {}});
 }
 
 }  // namespace rica::net

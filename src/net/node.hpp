@@ -79,8 +79,14 @@ class Node final : public routing::ProtocolHost {
   std::vector<DataPacket> drain_queue(NodeId neighbor) override;
   [[nodiscard]] std::size_t buffered_count() const override;
   void count(const std::string& name, std::uint64_t by = 1) override;
+  void trace_route(std::string_view stage, NodeId src, NodeId dst,
+                   std::uint32_t bid = 0, double metric = 0.0) override;
 
  private:
+  /// Packet-lifecycle trace emission (no-op with no sink attached).
+  void trace_packet(std::string_view stage, const DataPacket& pkt,
+                    std::int64_t peer, std::string_view detail = {});
+
   NodeId id_;
   sim::Simulator& sim_;
   channel::ChannelModel& channel_;

@@ -1,0 +1,187 @@
+// Structured event tracing: the per-run lifecycle record stream.
+//
+// Three record families, all stamped with *simulation* time (never wall
+// clock, so an enabled trace is byte-identical across runs and machines):
+//
+//   * packet lifecycle — generated → enqueued → tx_start/tx_end per hop →
+//     forwarded → delivered / dropped-with-reason, emitted by the node and
+//     the per-link data plane;
+//   * route lifecycle — discovery start/retry/failure, every control
+//     transmission (RREQ/reply hops, checks, local queries), route
+//     established, link break, repair, emitted by the five protocols and
+//     the common-channel MAC;
+//   * kernel samples — events executed / batch vs spill fires / pending
+//     count, emitted by the Simulator's kernel observer at a bounded rate.
+//
+// A `Tracer` is the zero-cost-off switchboard: it lives inside the
+// MetricsCollector (which every emitting layer already holds) and forwards
+// records to an attached `TraceSink` subject to a category filter.  With no
+// sink attached — the default — every emission site reduces to one pointer
+// load and a predicted branch, and a run's golden stream hash is untouched.
+//
+// The bundled `JsonlTraceSink` writes one JSON object per line with a fixed
+// key order and locale-free integer formatting, so `diff` is a valid trace
+// comparator and the byte-identity determinism tests can assert equality of
+// whole files.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace rica::obs {
+
+class PerfettoWriter;
+
+/// Record-category bitmask selected by `--trace-filter`.
+enum class TraceFilter : std::uint8_t {
+  kNone = 0,
+  kPacket = 1,
+  kRoute = 2,
+  kKernel = 4,
+  kAll = 7,
+};
+
+[[nodiscard]] constexpr TraceFilter operator|(TraceFilter a, TraceFilter b) {
+  return static_cast<TraceFilter>(static_cast<std::uint8_t>(a) |
+                                  static_cast<std::uint8_t>(b));
+}
+[[nodiscard]] constexpr bool has(TraceFilter mask, TraceFilter bit) {
+  return (static_cast<std::uint8_t>(mask) & static_cast<std::uint8_t>(bit)) !=
+         0;
+}
+
+/// Parses "packet", "route", "kernel", "all", or a comma list of them.
+/// Throws std::invalid_argument (naming the known categories) on a typo.
+[[nodiscard]] TraceFilter parse_trace_filter(std::string_view spec);
+
+/// One step of a data packet's life.  `stage` is one of: generated,
+/// enqueued, tx_start, tx_end, tx_fail, forwarded, delivered, dropped.
+struct PacketTrace {
+  std::string_view stage;
+  sim::Time at{};
+  std::uint32_t flow = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t node = 0;  ///< terminal where the event happened
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::int64_t peer = -1;  ///< next hop / sender, -1 when not applicable
+  std::uint16_t hops = 0;
+  std::uint32_t bytes = 0;
+  std::string_view detail{};  ///< drop reason / failure cause, may be empty
+};
+
+/// One step of a route's life.  `stage` is one of: discovery_start,
+/// discovery_retry, discovery_failed, control_tx, control_lost,
+/// established, repair_start, repaired, link_break, topology_install.
+struct RouteTrace {
+  std::string_view stage;
+  sim::Time at{};
+  std::uint32_t node = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t bid = 0;
+  double metric = 0.0;        ///< CSI distance / hop count, stage-dependent
+  std::string_view protocol{};
+  std::string_view msg{};     ///< control message type for control_* stages
+};
+
+/// One kernel observation window (see sim::KernelObserver).
+struct KernelTrace {
+  sim::Time at{};
+  std::uint64_t events_executed = 0;
+  std::uint64_t batched_fires = 0;
+  std::uint64_t pending = 0;
+};
+
+/// Receives the structured record stream.  Implementations must not assume
+/// wall-clock anything: a sink is part of the determinism contract.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_packet(const PacketTrace& rec) = 0;
+  virtual void on_route(const RouteTrace& rec) = 0;
+  virtual void on_kernel(const KernelTrace& rec) = 0;
+};
+
+/// JSONL backend: one record per line, fixed key order, integer sim-time
+/// stamps (`t_ns`), no locale-dependent formatting — byte-identical across
+/// runs for a fixed seed.  Throws std::runtime_error when the file cannot
+/// be opened.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
+  JsonlTraceSink(const JsonlTraceSink&) = delete;
+  JsonlTraceSink& operator=(const JsonlTraceSink&) = delete;
+
+  void on_packet(const PacketTrace& rec) override;
+  void on_route(const RouteTrace& rec) override;
+  void on_kernel(const KernelTrace& rec) override;
+
+  /// Flushes buffered lines to disk (called automatically on destruction).
+  void flush();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// The switchboard every emitting layer talks to.  Off by default: with no
+/// sink attached, the *_on() guards are a pointer load and the emission
+/// bodies are never entered, so the instrumented hot paths cost one
+/// predicted branch.  A PerfettoWriter can ride alongside the sink (the
+/// MAC and data plane feed it duration slices directly).
+class Tracer {
+ public:
+  /// Attaches `sink` with `filter`; pass nullptr to detach.  The sink must
+  /// outlive the simulation run.
+  void attach(TraceSink* sink, TraceFilter filter) {
+    sink_ = sink;
+    filter_ = sink ? filter : TraceFilter::kNone;
+  }
+
+  void set_perfetto(PerfettoWriter* writer) { perfetto_ = writer; }
+  [[nodiscard]] PerfettoWriter* perfetto() const { return perfetto_; }
+
+  [[nodiscard]] bool packet_on() const {
+    return sink_ != nullptr && has(filter_, TraceFilter::kPacket);
+  }
+  [[nodiscard]] bool route_on() const {
+    return sink_ != nullptr && has(filter_, TraceFilter::kRoute);
+  }
+  [[nodiscard]] bool kernel_on() const {
+    return sink_ != nullptr && has(filter_, TraceFilter::kKernel);
+  }
+
+  void packet(const PacketTrace& rec) {
+    if (packet_on()) sink_->on_packet(rec);
+  }
+  void route(const RouteTrace& rec) {
+    if (route_on()) sink_->on_route(rec);
+  }
+  void kernel(const KernelTrace& rec) {
+    if (kernel_on()) sink_->on_kernel(rec);
+  }
+
+ private:
+  TraceSink* sink_ = nullptr;
+  TraceFilter filter_ = TraceFilter::kNone;
+  PerfettoWriter* perfetto_ = nullptr;
+};
+
+/// Identity of a control message for route-lifecycle records: the payload's
+/// type name plus the (src, dst, bid) triple where the type carries one
+/// (0 where it does not, e.g. beacons).
+struct ControlInfo {
+  std::string_view name;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t bid = 0;
+};
+[[nodiscard]] ControlInfo control_info(const net::ControlPayload& payload);
+
+}  // namespace rica::obs

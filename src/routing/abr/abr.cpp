@@ -143,6 +143,8 @@ void AbrProtocol::begin_discovery(net::FlowKey flow) {
   s.discovering = true;
   s.attempts = 1;
   host().count("abr.discovery");
+  host().trace_route("discovery_start", net::flow_src(flow),
+                     net::flow_dst(flow));
   send_bq(flow);
 }
 
@@ -173,9 +175,13 @@ void AbrProtocol::send_bq(net::FlowKey flow) {
         host().drop_data(p, stats::DropReason::kNoRoute);
       }
       st.discovering = false;
+      host().trace_route("discovery_failed", net::flow_src(flow),
+                         net::flow_dst(flow), bid);
       return;
     }
     ++st.attempts;
+    host().trace_route("discovery_retry", net::flow_src(flow),
+                       net::flow_dst(flow), bid);
     send_bq(flow);
   });
 }
@@ -242,6 +248,8 @@ void AbrProtocol::on_reply(const net::AbrReplyMsg& msg, net::NodeId from) {
     auto& s = source_state(flow);
     s.discovering = false;
     s.discovery_timer.cancel();
+    host().trace_route("established", msg.src, msg.dst, msg.bid,
+                       static_cast<double>(msg.topo_hops + 1));
     const auto expired = [this](const net::DataPacket& p) {
       host().drop_data(p, stats::DropReason::kExpired);
     };
@@ -272,6 +280,8 @@ void AbrProtocol::start_local_query(net::FlowKey flow) {
   e.lq_candidates.clear();
   history_.seen_or_insert(host().id(), bid, kTagLq);
   host().count("abr.lq");
+  host().trace_route("repair_start", net::flow_src(flow), net::flow_dst(flow),
+                     bid);
 
   net::AbrLqMsg msg;
   msg.origin = host().id();
@@ -355,6 +365,8 @@ void AbrProtocol::finish_local_query(net::FlowKey flow, std::uint32_t bid) {
     e.repairing = false;
     e.lq_candidates.clear();
     host().count("abr.lq_success");
+    host().trace_route("repaired", net::flow_src(flow), net::flow_dst(flow),
+                       bid, static_cast<double>(e.hops_to_dst));
     flush_repair(flow);
     return;
   }
@@ -423,6 +435,7 @@ double AbrProtocol::table_load() const {
 void AbrProtocol::on_link_break(net::NodeId neighbor,
                                 std::vector<net::DataPacket> stranded) {
   host().count("abr.link_break");
+  host().trace_route("link_break", host().id(), neighbor);
   // The broken association resets.
   neighbors_.erase(neighbor);
 

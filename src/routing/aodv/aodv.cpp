@@ -68,6 +68,7 @@ void AodvProtocol::begin_discovery(net::NodeId dst) {
   d.in_progress = true;
   d.attempts = 1;
   host().count("aodv.discovery");
+  host().trace_route("discovery_start", host().id(), dst);
   send_rreq(dst);
 }
 
@@ -97,9 +98,11 @@ void AodvProtocol::send_rreq(net::NodeId dst) {
       auto fresh = disc.pending.take_fresh(host().simulator().now(), nullptr);
       for (const auto& p : fresh) drop_pkt(p, stats::DropReason::kNoRoute);
       disc.in_progress = false;
+      host().trace_route("discovery_failed", host().id(), dst, bid);
       return;
     }
     ++disc.attempts;
+    host().trace_route("discovery_retry", host().id(), dst, bid);
     send_rreq(dst);
   });
 }
@@ -146,6 +149,8 @@ void AodvProtocol::on_rrep(const net::AodvRrepMsg& msg, net::NodeId from) {
       Route{from, static_cast<std::uint16_t>(msg.hops + 1), true, now()};
 
   if (msg.src == host().id()) {
+    host().trace_route("established", msg.src, msg.dst, msg.bid,
+                       static_cast<double>(msg.hops + 1));
     flush_pending(msg.dst);
     return;
   }
@@ -204,6 +209,7 @@ double AodvProtocol::table_load() const {
 void AodvProtocol::on_link_break(net::NodeId neighbor,
                                  std::vector<net::DataPacket> stranded) {
   host().count("aodv.link_break");
+  host().trace_route("link_break", host().id(), neighbor);
   // Paper: "packets in the original broken route usually is discarded".
   for (const auto& p : stranded) drop_pkt(p, stats::DropReason::kLinkBreak);
   for (auto& [dst, route] : routes_) {

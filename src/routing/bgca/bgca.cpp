@@ -112,6 +112,8 @@ void BgcaProtocol::begin_discovery(net::FlowKey flow) {
   s.discovering = true;
   s.attempts = 1;
   host().count("bgca.discovery");
+  host().trace_route("discovery_start", net::flow_src(flow),
+                     net::flow_dst(flow));
   send_rreq(flow);
 }
 
@@ -140,9 +142,13 @@ void BgcaProtocol::send_rreq(net::FlowKey flow) {
         host().drop_data(p, stats::DropReason::kNoRoute);
       }
       st.discovering = false;
+      host().trace_route("discovery_failed", net::flow_src(flow),
+                         net::flow_dst(flow), bid);
       return;
     }
     ++st.attempts;
+    host().trace_route("discovery_retry", net::flow_src(flow),
+                       net::flow_dst(flow), bid);
     send_rreq(flow);
   });
 }
@@ -210,6 +216,8 @@ void BgcaProtocol::on_rrep(const net::RrepMsg& msg, net::NodeId from) {
     auto& s = source_state(flow);
     s.discovering = false;
     s.discovery_timer.cancel();
+    host().trace_route("established", msg.src, msg.dst, msg.bid,
+                       msg.csi_hops);
     flush_pending(flow);
     return;
   }
@@ -277,6 +285,8 @@ void BgcaProtocol::start_local_query(net::FlowKey flow, bool broken) {
   e.lq_candidates.clear();
   history_.seen_or_insert(host().id(), bid, kTagLq);
   host().count("bgca.lq");
+  host().trace_route("repair_start", net::flow_src(flow), net::flow_dst(flow),
+                     bid);
 
   net::BgcaLqMsg msg;
   msg.origin = host().id();
@@ -372,6 +382,8 @@ void BgcaProtocol::finish_local_query(net::FlowKey flow, std::uint32_t bid) {
     e.repairing = false;
     e.lq_candidates.clear();
     host().count("bgca.lq_success");
+    host().trace_route("repaired", net::flow_src(flow), net::flow_dst(flow),
+                       bid, static_cast<double>(e.hops_to_dst));
     flush_pending(flow);
     return;
   }
@@ -438,6 +450,7 @@ double BgcaProtocol::table_load() const {
 void BgcaProtocol::on_link_break(net::NodeId neighbor,
                                  std::vector<net::DataPacket> stranded) {
   host().count("bgca.link_break");
+  host().trace_route("link_break", host().id(), neighbor);
   for (auto& [flow, e] : entries_) {
     if (!e.valid || e.downstream != neighbor) continue;
     e.valid = false;

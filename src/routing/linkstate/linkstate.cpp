@@ -19,6 +19,8 @@ void LinkStateProtocol::install_topology(const Topology& topology) {
   view_ = topology;
   view_.resize(cfg_.num_nodes);
   ++view_version_;
+  host().trace_route("topology_install", host().id(), 0, 0,
+                     static_cast<double>(view_.size()));
 }
 
 const LinkStateProtocol::AdjacencyRow& LinkStateProtocol::own_row() const {
@@ -139,6 +141,7 @@ void LinkStateProtocol::handle_data(net::DataPacket pkt, net::NodeId from) {
 void LinkStateProtocol::on_link_break(net::NodeId neighbor,
                                       std::vector<net::DataPacket> stranded) {
   host().count("ls.link_break");
+  host().trace_route("link_break", host().id(), neighbor);
   for (const auto& p : stranded) {
     host().drop_data(p, stats::DropReason::kLinkBreak);
   }

@@ -67,6 +67,23 @@ class ProtocolHost {
 
   /// Named diagnostic counter (forwarded to the metrics collector).
   virtual void count(const std::string& name, std::uint64_t by = 1) = 0;
+
+  /// Emits a route-lifecycle trace record (stage: discovery_start,
+  /// discovery_retry, discovery_failed, established, repair_start,
+  /// repaired, link_break, topology_install).  Default is a no-op so mock
+  /// hosts and trace-disabled runs pay nothing; Node forwards to the
+  /// metrics collector's tracer, stamping node id, protocol name, and the
+  /// current sim time.  `metric` is stage-dependent (CSI distance, hop
+  /// count, stability score).
+  virtual void trace_route(std::string_view stage, net::NodeId src,
+                           net::NodeId dst, std::uint32_t bid = 0,
+                           double metric = 0.0) {
+    (void)stage;
+    (void)src;
+    (void)dst;
+    (void)bid;
+    (void)metric;
+  }
 };
 
 /// A routing protocol instance bound to one terminal.

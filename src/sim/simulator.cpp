@@ -9,6 +9,7 @@ void Simulator::run_until(Time end) {
     now_ = t;
     ++events_executed_;
     engine_.fire_next();
+    observe_fire();
   }
   if (end > now_) now_ = end;
 }
@@ -18,6 +19,7 @@ void Simulator::run_all() {
     now_ = engine_.next_time();
     ++events_executed_;
     engine_.fire_next();
+    observe_fire();
   }
 }
 

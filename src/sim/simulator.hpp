@@ -19,6 +19,21 @@
 
 namespace rica::sim {
 
+/// Observes the kernel's firing loop at a bounded sim-time rate.  Declared
+/// here (and implemented by obs::KernelProbe) so the kernel has no
+/// dependency on the observability layer; with no observer installed the
+/// run loop pays one pointer test per fired event.
+class KernelObserver {
+ public:
+  virtual ~KernelObserver() = default;
+  /// Called after a fired event once at least the configured interval of
+  /// sim time has elapsed since the previous call (and after the first
+  /// fired event).  `pending` is the queue size after the fire.
+  virtual void on_kernel_window(Time now, std::uint64_t events_executed,
+                                std::uint64_t batched_fires,
+                                std::size_t pending) = 0;
+};
+
 /// Discrete-event simulation kernel: clock + event core + run loop.
 class Simulator {
  public:
@@ -91,16 +106,35 @@ class Simulator {
     return engine_.batched_fires();
   }
 
+  /// Installs (or removes, with nullptr) a kernel observer.  The observer
+  /// is invoked from the run loop at most once per `min_interval` of sim
+  /// time — it must not schedule or cancel events.
+  void set_kernel_observer(KernelObserver* observer, Time min_interval) {
+    observer_ = observer;
+    observer_interval_ = min_interval;
+    next_observation_ = Time::zero();
+  }
+
  private:
   void note_scheduled() {
     const std::size_t n = pending_events();
     if (n > peak_pending_) peak_pending_ = n;
   }
 
+  void observe_fire() {
+    if (observer_ == nullptr || now_ < next_observation_) return;
+    next_observation_ = now_ + observer_interval_;
+    observer_->on_kernel_window(now_, events_executed_,
+                                engine_.batched_fires(), engine_.size());
+  }
+
   EventEngine engine_;
   Time now_ = Time::zero();
   std::uint64_t events_executed_ = 0;
   std::size_t peak_pending_ = 0;
+  KernelObserver* observer_ = nullptr;
+  Time observer_interval_ = Time::zero();
+  Time next_observation_ = Time::zero();
 };
 
 }  // namespace rica::sim

@@ -129,6 +129,7 @@ MetricsSummary MetricsCollector::finalize(sim::Time sim_duration) const {
   s.avg_hops =
       delivered_ == 0 ? 0.0 : hop_sum_ / static_cast<double>(delivered_);
   s.drops = drops_;
+  s.dropped = dropped_total();
   s.control_transmissions = control_tx_count_;
   s.control_collisions = collision_count_;
   s.tput_kbps_series = series_.kbps();

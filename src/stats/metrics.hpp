@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 
 namespace rica::stats {
@@ -82,6 +84,9 @@ struct MetricsSummary {
   double avg_link_tput_kbps = 0.0;
   double avg_hops = 0.0;
   std::array<std::uint64_t, kNumDropReasons> drops{};
+  /// Total losses: always exactly the sum of the per-reason `drops` array
+  /// (the taxonomy partitions the legacy aggregate, it does not extend it).
+  std::uint64_t dropped = 0;
   std::uint64_t control_transmissions = 0;
   std::uint64_t control_collisions = 0;
   std::vector<double> tput_kbps_series;
@@ -124,6 +129,12 @@ struct MetricsSummary {
   /// Max open-addressing table occupancy observed at run end (routing /
   /// history / link tables); per-trial maximum across trials.
   double table_load = 0.0;
+  /// Every registered observability statistic, keyed by name, with its fold
+  /// kind attached (see obs::Registry).  The typed kernel fields above are
+  /// populated from this map by the harness; new statistics only need a
+  /// registration, not a summary field.  Across trials, average() folds by
+  /// kind: counters sum, gauges keep the maximum.
+  std::map<std::string, obs::Sample> stats;
 };
 
 /// FNV-1a running hash (64-bit), folded one event record at a time.  Used
@@ -202,6 +213,20 @@ class MetricsCollector {
   [[nodiscard]] std::uint64_t dropped(DropReason r) const {
     return drops_[static_cast<std::size_t>(r)];
   }
+  [[nodiscard]] std::uint64_t dropped_total() const {
+    std::uint64_t sum = 0;
+    for (const auto d : drops_) sum += d;
+    return sum;
+  }
+  /// Cumulative control bits on air this epoch (series sampling).
+  [[nodiscard]] double control_bits() const { return control_bits_; }
+
+  /// The structured-trace switchboard.  The collector is the one object
+  /// already threaded through every emitting layer (nodes, both MACs, the
+  /// harness), so it carries the tracer; emission sites call
+  /// `tracer().packet(...)` etc., which are no-ops with no sink attached
+  /// and never touch the stream hash either way.
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
 
  private:
   void fold(std::uint64_t v) { stream_hash_ = fnv1a(stream_hash_, v); }
@@ -221,6 +246,7 @@ class MetricsCollector {
   std::map<std::uint32_t, FlowStats> flows_;
   std::uint64_t stream_hash_ = kFnvOffsetBasis;
   sim::Time epoch_start_ = sim::Time::zero();
+  obs::Tracer tracer_;
 };
 
 /// Mean over a set of per-trial values (used by the multi-trial harness).
