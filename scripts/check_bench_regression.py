@@ -2,8 +2,14 @@
 """Benchmark regression guard for CI's bench-smoke job.
 
 Compares a fresh google-benchmark JSON dump against the committed baseline
-(BENCH_scale.json) and fails when any benchmark shared by both files got
-more than THRESHOLD times slower.  Two context checks run first:
+(BENCH_scale.json) and fails when:
+
+* any benchmark shared by both files got more than THRESHOLD times slower;
+* any baseline benchmark selected by --filter (all of them without a
+  filter) is MISSING from the fresh run — a renamed or silently dropped
+  benchmark must fail loudly, not shrink the guard's coverage.
+
+Two context checks run first:
 
 * `rica_build_type` must read "release" — a debug rica build makes every
   number meaningless, so that is a hard failure (the custom main() in
@@ -16,9 +22,14 @@ Baseline numbers were recorded on a 1-core container; CI runners differ, so
 the threshold is deliberately loose (catching 1.5x cliffs, not 5% drift).
 
 Usage: check_bench_regression.py <fresh.json> [baseline.json]
+                                 [--filter REGEX]
+
+--filter mirrors the --benchmark_filter the fresh run used, so the
+missing-row check only demands the baselines that run was asked to produce.
 """
 
 import json
+import re
 import sys
 
 THRESHOLD = 1.5
@@ -34,12 +45,37 @@ def rows(doc):
     return out
 
 
-def main(argv):
-    if len(argv) < 2:
+def parse_args(argv):
+    positional = []
+    bench_filter = None
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--filter":
+            if i + 1 >= len(argv):
+                print("FAIL: --filter needs a regex argument", file=sys.stderr)
+                return None
+            bench_filter = argv[i + 1]
+            i += 2
+        elif arg.startswith("--filter="):
+            bench_filter = arg.split("=", 1)[1]
+            i += 1
+        else:
+            positional.append(arg)
+            i += 1
+    if not positional:
         print(__doc__.strip(), file=sys.stderr)
+        return None
+    fresh = positional[0]
+    base = positional[1] if len(positional) > 1 else "BENCH_scale.json"
+    return fresh, base, bench_filter
+
+
+def main(argv):
+    args = parse_args(argv)
+    if args is None:
         return 2
-    fresh_path = argv[1]
-    base_path = argv[2] if len(argv) > 2 else "BENCH_scale.json"
+    fresh_path, base_path, bench_filter = args
     with open(fresh_path) as f:
         fresh = json.load(f)
     with open(base_path) as f:
@@ -61,6 +97,29 @@ def main(argv):
 
     fresh_rows = rows(fresh)
     base_rows = rows(base)
+
+    # Every baseline row the filter selects must appear in the fresh run:
+    # a benchmark that was renamed or dropped would otherwise silently fall
+    # out of the guard while CI kept reporting green.
+    pattern = re.compile(bench_filter) if bench_filter else None
+    expected = sorted(
+        name for name in base_rows
+        if pattern is None or pattern.search(name)
+    )
+    missing = [name for name in expected if name not in fresh_rows]
+    if missing:
+        sel = f"matching --filter '{bench_filter}'" if bench_filter else \
+            "in the baseline"
+        print(f"FAIL: {len(missing)} committed baseline benchmark(s) {sel} "
+              f"missing from the fresh run ({fresh_path}):")
+        for name in missing:
+            print(f"  missing: {name}")
+        print(
+            "A renamed or dropped benchmark must be re-recorded in "
+            f"{base_path} (or the CI filter updated), not silently skipped."
+        )
+        return 1
+
     shared = sorted(set(fresh_rows) & set(base_rows))
     if not shared:
         print("FAIL: no benchmark names shared with the baseline "

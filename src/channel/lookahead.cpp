@@ -1,0 +1,21 @@
+#include "channel/lookahead.hpp"
+
+namespace rica::channel {
+
+Lookahead conservative_lookahead(double rate_bps, sim::Time backoff_min,
+                                 unsigned min_control_bytes,
+                                 double max_speed_mps) {
+  // Smallest-frame airtime at the common-channel rate; the paper's 250 kbps
+  // and the stack's 8-byte ABR beacon give ~256 us, on top of the 500 us
+  // minimum backoff — a ~756 us window.
+  const double airtime_s = rate_bps > 0.0
+                               ? min_control_bytes * 8.0 / rate_bps
+                               : 0.0;
+  Lookahead la;
+  la.window = backoff_min + sim::seconds_f(airtime_s);
+  // Two nodes closing head-on shrink their separation at 2 * max speed.
+  la.guard_band_m = 2.0 * max_speed_mps * la.window.seconds();
+  return la;
+}
+
+}  // namespace rica::channel

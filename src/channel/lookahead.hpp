@@ -1,0 +1,42 @@
+// Conservative lookahead for the sharded event kernel.
+//
+// Classic conservative-PDES argument, instantiated for this stack: the
+// soonest an event at one node can *causally* reach a node in another
+// spatial shard is bounded below by the MAC's minimum turnaround — a
+// carrier-sense backoff draw of at least backoff_min followed by the
+// airtime of the smallest control frame on the common channel (signal
+// propagation itself is modeled as instantaneous, so it contributes no
+// slack).  Within that window, shards can be *staged* concurrently: wheel
+// cascades, bucket harvests, and batch sorts touch only shard-local state.
+//
+// The kernel's commit phase stays serial and globally (at, seq)-ordered
+// (see sim/simulator.hpp): two zero-latency couplings make true concurrent
+// *execution* unable to reproduce the serial event stream byte-for-byte —
+// carrier sense writes busy intervals into every in-range receiver at the
+// instant a transmission starts, and the channel's per-pair AR(1) fading
+// processes advance lazily in query order.  The window therefore tunes how
+// much staging work each barrier can absorb; correctness never depends on
+// it, and the guard band below is reported as drift telemetry rather than
+// enforced.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace rica::channel {
+
+/// A derived conservative window and its spatial guard band.
+struct Lookahead {
+  sim::Time window;     ///< min cross-shard causal latency
+  double guard_band_m;  ///< worst-case two-node closing distance per window
+};
+
+/// Derives the lookahead from the channel/MAC/mobility parameters:
+/// `rate_bps` and `backoff_min` from the common-channel MAC,
+/// `min_control_bytes` the smallest control frame the stack emits, and
+/// `max_speed_mps` the mobility bound (two nodes can close at twice it).
+[[nodiscard]] Lookahead conservative_lookahead(double rate_bps,
+                                               sim::Time backoff_min,
+                                               unsigned min_control_bytes,
+                                               double max_speed_mps);
+
+}  // namespace rica::channel

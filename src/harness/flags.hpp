@@ -45,7 +45,7 @@ class Flags {
 ///   --paper-scale     shorthand for the paper's 25 trials x 500 s
 ///   --threads N       worker threads for the sweep grid (0 = one per core)
 ///   --preset NAME     scenario preset: paper, dense-urban, sparse-rural,
-///                     large-scale (see scenario_presets())
+///                     metro, large-scale (see scenario_presets())
 ///   --mobility SPEC   mobility model "model[:k=v,...]": waypoint, walk,
 ///                     gauss-markov, group, manhattan, trace:file=PATH
 ///                     (validated here so a typo fails before any cell runs)

@@ -19,6 +19,7 @@
 #include "routing/bgca/bgca.hpp"
 #include "routing/linkstate/linkstate.hpp"
 #include "sim/random.hpp"
+#include "sim/sharding.hpp"
 #include "traffic/traffic_model.hpp"
 
 namespace rica::harness {
@@ -54,7 +55,8 @@ ProtocolKind protocol_from_string(std::string_view name) {
 }
 
 const std::vector<ScenarioPreset>& scenario_presets() {
-  // Areas: paper/dense-urban 1 km², sparse-rural 2 km², large-scale 3 km².
+  // Areas: paper/dense-urban 1 km², sparse-rural 2 km², metro 3 km²,
+  // large-scale 200 km² (a city at the paper's density: ~50 nodes/km²).
   // Traffic pairs scale with population (the paper's 10 pairs per 50 nodes).
   // Warmup defaults scale with the field crossing time (the random-waypoint
   // speed transient decays over a few crossings at the mean speed).
@@ -65,8 +67,10 @@ const std::vector<ScenarioPreset>& scenario_presets() {
        1000.0, 40, 20.0},
       {"sparse-rural", "25 nodes / 2 km²: partition-prone countryside", 25,
        1414.2, 5, 30.0},
-      {"large-scale", "500 nodes / 3 km²: stress the scale-out path", 500,
-       1732.1, 100, 30.0},
+      {"metro", "500 nodes / 3 km²: stress the scale-out path", 500, 1732.1,
+       100, 30.0},
+      {"large-scale", "10000 nodes / 200 km²: city-scale, needs the sharded "
+       "kernel", 10000, 14142.1, 2000, 30.0},
   };
   return presets;
 }
@@ -109,6 +113,8 @@ net::NetworkConfig to_network_config(const ScenarioConfig& cfg) {
   net.mobility = scenario_mobility_config(cfg);
   net.channel.range_m = cfg.radio_range_m;
   net.seed = cfg.seed;
+  net.kernel.threads = cfg.threads;
+  net.kernel.shards = cfg.shards;
   return net;
 }
 
@@ -220,21 +226,59 @@ std::vector<traffic::Flow> connected_flows(net::Network& network,
   return flows;
 }
 
+// std::to_string(double) pads six decimals; error messages want "1000 m",
+// not "1000.000000 m".
+std::string fmt_m(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
 }  // namespace
 
-ScenarioResult run_scenario(const ScenarioConfig& cfg) {
-  // Parse the traffic spec before any expensive construction so a typo
-  // fails with the known-model list, not mid-build.
-  const traffic::TrafficConfig tcfg = traffic::parse_traffic_spec(cfg.traffic);
+void validate_scenario(const ScenarioConfig& cfg) {
+  if (cfg.num_nodes == 0) {
+    throw std::invalid_argument("num_nodes must be > 0");
+  }
+  if (cfg.num_nodes > net::kMaxNodes) {
+    throw std::invalid_argument(
+        "num_nodes = " + std::to_string(cfg.num_nodes) +
+        " exceeds the 2^24 node-id limit (routing history keys pack the "
+        "origin id into 24 bits)");
+  }
+  if (cfg.shards > sim::Simulator::kMaxShards) {
+    throw std::invalid_argument(
+        "shards = " + std::to_string(cfg.shards) + " exceeds the kernel's " +
+        std::to_string(sim::Simulator::kMaxShards) +
+        "-shard limit (shard ids ride in the top EventId bits)");
+  }
+  if (cfg.shards > 1) {
+    const std::size_t cols = sim::grid_columns(cfg.field_m, cfg.radio_range_m);
+    if (cfg.shards > cols) {
+      throw std::invalid_argument(
+          "shards = " + std::to_string(cfg.shards) + " exceeds the " +
+          std::to_string(cols) + " grid column(s) a " + fmt_m(cfg.field_m) +
+          " m field holds at " + fmt_m(cfg.radio_range_m) +
+          " m range (shards stripe whole columns)");
+    }
+  }
   if (cfg.warmup_s < 0.0) {
     throw std::invalid_argument("warmup must be >= 0 seconds");
   }
   if (cfg.warmup_s > 0.0 && cfg.warmup_s >= cfg.sim_s) {
     throw std::invalid_argument(
-        "warmup (" + std::to_string(cfg.warmup_s) +
+        "warmup (" + fmt_m(cfg.warmup_s) +
         " s) must leave a measurement window before sim end (" +
-        std::to_string(cfg.sim_s) + " s)");
+        fmt_m(cfg.sim_s) + " s)");
   }
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  // Validate population/shard/warmup bounds and parse the traffic spec
+  // before any expensive construction, so a typo fails with a named value,
+  // not mid-build.
+  validate_scenario(cfg);
+  const traffic::TrafficConfig tcfg = traffic::parse_traffic_spec(cfg.traffic);
   net::Network network(to_network_config(cfg));
   install_protocols(network, cfg);
 

@@ -165,7 +165,13 @@ void CommonChannelMac::end_of_tx(net::NodeId id) {
       continue;
     }
     unicast_ok = true;
-    if (rst.handler) rst.handler(pkt, id);
+    if (rst.handler) {
+      // The reception executes as the receiver's shard: protocol reactions
+      // (timers, forwards, replies) land in r's wheel, and a boundary hop
+      // is counted as zero-latency cross-shard channel traffic.
+      sim::ShardScope scope(sim_, sim_.shard_of_node(r));
+      rst.handler(pkt, id);
+    }
   }
 
   // CSMA/CA acknowledges unicast frames; a missing ACK triggers a

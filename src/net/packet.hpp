@@ -220,6 +220,12 @@ struct ControlPacket {
   ControlPayload payload;
 };
 
+/// Smallest control frame any protocol emits (the ABR beacon below).  This
+/// is the sharded kernel's lookahead floor: no transmission can complete —
+/// and therefore no cross-shard causal effect can land — in less than this
+/// frame's airtime plus the MAC's minimum backoff (channel/lookahead.hpp).
+inline constexpr std::uint16_t kMinControlBytes = 8;
+
 /// Wire size charged to the common channel for each message type.  Sizes are
 /// representative of the fields §II lists (addresses, ids, hop counts).
 [[nodiscard]] inline std::uint16_t control_size_bytes(

@@ -1,0 +1,33 @@
+#include "sim/sharding.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rica::sim {
+
+std::size_t grid_columns(double field_m, double cell_m) {
+  if (field_m <= 0.0 || cell_m <= 0.0) return 1;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(field_m / cell_m));
+}
+
+std::vector<std::uint32_t> stripe_shards(const std::vector<double>& xs,
+                                         double field_m, double cell_m,
+                                         std::uint32_t num_shards) {
+  const std::size_t cols = grid_columns(field_m, cell_m);
+  assert(num_shards >= 1 && num_shards <= cols &&
+         "stripe_shards: shard count must fit the grid columns");
+  std::vector<std::uint32_t> shard(xs.size(), 0);
+  if (num_shards <= 1) return shard;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double c = std::floor(xs[i] / cell_m);
+    const auto col = static_cast<std::size_t>(
+        std::clamp(c, 0.0, static_cast<double>(cols - 1)));
+    // Contiguous stripes of near-equal column count: col * K / cols is
+    // monotone in col and hits every shard in [0, K).
+    shard[i] = static_cast<std::uint32_t>(col * num_shards / cols);
+  }
+  return shard;
+}
+
+}  // namespace rica::sim

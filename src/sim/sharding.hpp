@@ -1,0 +1,33 @@
+// Spatial shard assignment for the sharded event kernel.
+//
+// Shards stripe the arena along the uniform-grid NeighborIndex partition:
+// the grid's cell side equals the radio range, so a column stripe is the
+// natural conservative boundary — an event at a node in stripe s can only
+// reach nodes in stripes whose columns lie within one cell of s's columns
+// during the lookahead window.  The map is computed once from the t = 0
+// positions and stays fixed for the run: nodes that drift across a stripe
+// boundary keep their home shard (correctness never depends on the map —
+// the commit phase is globally ordered — only staging locality does), and
+// the kernel reports the drift count as telemetry instead of re-sharding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rica::sim {
+
+/// Number of whole grid columns a square field of side `field_m` holds at
+/// cell side `cell_m` (the NeighborIndex geometry: cell side = radio
+/// range).  At least 1 for any positive field.
+[[nodiscard]] std::size_t grid_columns(double field_m, double cell_m);
+
+/// Maps each node to a shard by striping grid columns: node i with
+/// x-coordinate xs[i] lands in column floor(xs[i] / cell_m) (clamped to the
+/// field's columns), and columns split into `num_shards` contiguous stripes
+/// of near-equal width.  Deterministic in its inputs; requires
+/// 1 <= num_shards <= grid_columns(field_m, cell_m).
+[[nodiscard]] std::vector<std::uint32_t> stripe_shards(
+    const std::vector<double>& xs, double field_m, double cell_m,
+    std::uint32_t num_shards);
+
+}  // namespace rica::sim

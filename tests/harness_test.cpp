@@ -544,6 +544,73 @@ TEST(AdaptiveChecks, StillDeliversUnderMobility) {
   EXPECT_GT(r.delivery_pct, 70.0);
 }
 
+// ---------------------------------------------------------------------------
+// validate_scenario: one thrown pass for population, shard, and warmup
+// bounds, with messages naming the offending value (satellite of the
+// sharded-kernel work; run_scenario calls this before any construction).
+// ---------------------------------------------------------------------------
+
+// Captures the exception message so tests can pin its content.
+std::string validation_error(const ScenarioConfig& cfg) {
+  try {
+    validate_scenario(cfg);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(ValidateScenario, DefaultAndPresetConfigsPass) {
+  EXPECT_NO_THROW(validate_scenario(ScenarioConfig{}));
+  for (const auto& preset : scenario_presets()) {
+    EXPECT_NO_THROW(validate_scenario(preset_config(preset.name)));
+  }
+}
+
+TEST(ValidateScenario, RejectsEmptyAndOversizedPopulations) {
+  ScenarioConfig cfg;
+  cfg.num_nodes = 0;
+  EXPECT_THROW(validate_scenario(cfg), std::invalid_argument);
+  cfg.num_nodes = (std::size_t{1} << 24) + 1;
+  const auto msg = validation_error(cfg);
+  EXPECT_NE(msg.find("16777217"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2^24"), std::string::npos) << msg;
+  cfg.num_nodes = std::size_t{1} << 24;  // the limit itself is legal
+  EXPECT_NO_THROW(validate_scenario(cfg));
+}
+
+TEST(ValidateScenario, RejectsMoreShardsThanTheKernelSupports) {
+  ScenarioConfig cfg;
+  cfg.field_m = 100000.0;  // plenty of columns; the shard-id cap must fire
+  cfg.shards = 65;
+  const auto msg = validation_error(cfg);
+  EXPECT_NE(msg.find("shards = 65"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("64-shard limit"), std::string::npos) << msg;
+}
+
+TEST(ValidateScenario, RejectsMoreShardsThanGridColumns) {
+  ScenarioConfig cfg;  // 1000 m field at 250 m range: 4 columns
+  cfg.shards = 5;
+  const auto msg = validation_error(cfg);
+  EXPECT_NE(msg.find("shards = 5"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("4 grid column"), std::string::npos) << msg;
+  cfg.shards = 4;
+  EXPECT_NO_THROW(validate_scenario(cfg));
+  // run_scenario front-loads the same check before building a network.
+  cfg.shards = 5;
+  EXPECT_THROW({ auto r = run_scenario(cfg); (void)r; },
+               std::invalid_argument);
+}
+
+TEST(ValidateScenario, RejectsWarmupOutsideTheRun) {
+  ScenarioConfig cfg;
+  cfg.warmup_s = -1.0;
+  EXPECT_THROW(validate_scenario(cfg), std::invalid_argument);
+  cfg.warmup_s = cfg.sim_s;
+  const auto msg = validation_error(cfg);
+  EXPECT_NE(msg.find("measurement window"), std::string::npos) << msg;
+}
+
 TEST(RicaConfigPlumbing, CheckPeriodAffectsOverhead) {
   ScenarioConfig slow;
   slow.protocol = ProtocolKind::kRica;

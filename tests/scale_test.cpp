@@ -239,10 +239,12 @@ TEST(Presets, KnownPopulations) {
   EXPECT_EQ(harness::preset_config("paper").num_nodes, 50u);
   EXPECT_EQ(harness::preset_config("dense-urban").num_nodes, 200u);
   EXPECT_EQ(harness::preset_config("sparse-rural").num_nodes, 25u);
-  EXPECT_EQ(harness::preset_config("large-scale").num_nodes, 500u);
+  EXPECT_EQ(harness::preset_config("metro").num_nodes, 500u);
+  EXPECT_EQ(harness::preset_config("large-scale").num_nodes, 10000u);
   EXPECT_NEAR(harness::preset_config("sparse-rural").field_m, 1414.2, 0.1);
-  EXPECT_NEAR(harness::preset_config("large-scale").field_m, 1732.1, 0.1);
-  EXPECT_EQ(harness::scenario_presets().size(), 4u);
+  EXPECT_NEAR(harness::preset_config("metro").field_m, 1732.1, 0.1);
+  EXPECT_NEAR(harness::preset_config("large-scale").field_m, 14142.1, 0.1);
+  EXPECT_EQ(harness::scenario_presets().size(), 5u);
 }
 
 TEST(Presets, UnknownNameThrows) {
@@ -253,6 +255,7 @@ TEST(Presets, UnknownNameThrows) {
 TEST(Presets, PairsScaleWithPopulation) {
   EXPECT_EQ(harness::preset_config("paper").num_pairs, 10u);
   EXPECT_EQ(harness::preset_config("dense-urban").num_pairs, 40u);
+  EXPECT_EQ(harness::preset_config("large-scale").num_pairs, 2000u);
 }
 
 // ---------------------------------------------------------------------------

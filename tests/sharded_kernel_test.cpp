@@ -1,0 +1,287 @@
+// Sharded-kernel properties: the parallel kernel must reproduce the serial
+// engine's event stream exactly — same fire order, same clock stamps, same
+// executed/pending counts — for ANY shard and thread count, because the
+// commit phase fires in global (at, seq) order off one shared sequence
+// counter.  The suite drives randomized event programs (timer chains that
+// hop between nodes, and therefore shards) through serial and sharded
+// kernels and asserts byte-identical logs, plus unit properties of the
+// stripe map, the staging path, ShardScope accounting, and the derived
+// conservative lookahead.
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "channel/lookahead.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/random.hpp"
+#include "sim/sharding.hpp"
+#include "sim/simulator.hpp"
+
+namespace rica {
+namespace {
+
+using sim::Time;
+
+// One fired event as observed by the test program: when it ran, at which
+// node, which program tag it carried, and whether its *schedule* crossed a
+// shard boundary in the sharded run under test.
+struct FireRecord {
+  std::int64_t at_ns;
+  std::uint32_t node;
+  std::uint64_t tag;
+
+  bool operator==(const FireRecord&) const = default;
+};
+
+// A deterministic branching timer program: each fired event logs itself and
+// schedules 1-3 children at splitmix-derived nodes and delays.  The program
+// is a pure function of (seed, roots, depth), so any two kernels given the
+// same program must produce the same log iff they fire in the same order.
+struct Runner {
+  sim::Simulator& sim;
+  std::uint32_t num_nodes;
+  int max_depth;
+  std::vector<FireRecord> log;
+
+  void fire(std::uint32_t node, std::uint64_t tag, int depth) {
+    log.push_back({sim.now().nanos(), node, tag});
+    if (depth >= max_depth) return;
+    const std::uint64_t h = sim::splitmix64(tag);
+    const int kids = 1 + static_cast<int>(h % 3);
+    for (int i = 0; i < kids; ++i) {
+      const std::uint64_t ct =
+          sim::splitmix64(tag ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+      const auto cn = static_cast<std::uint32_t>(ct % num_nodes);
+      // Delays from 1 ns to 3 ms straddle any sensible lookahead window, so
+      // children land both inside the staging horizon and beyond it.
+      const Time delay{static_cast<std::int64_t>(1 + ct % 3'000'000)};
+      sim.after_node(cn, delay,
+                     [this, cn, ct, depth] { fire(cn, ct, depth + 1); });
+    }
+  }
+
+  void seed_roots(std::uint64_t seed, int roots) {
+    for (int r = 0; r < roots; ++r) {
+      const std::uint64_t tag = sim::splitmix64(seed + r);
+      const auto node = static_cast<std::uint32_t>(tag % num_nodes);
+      const Time at{static_cast<std::int64_t>(1 + tag % 1'000'000)};
+      sim.at_node(node, at, [this, node, tag] { fire(node, tag, 0); });
+    }
+  }
+};
+
+struct RunStats {
+  std::uint64_t executed;
+  std::size_t peak_pending;
+};
+
+std::vector<FireRecord> run_program(std::uint64_t seed, std::uint32_t nodes,
+                                    std::uint32_t shards, unsigned threads,
+                                    Time window, RunStats* stats = nullptr,
+                                    std::uint64_t* crossings = nullptr) {
+  sim::Simulator sim;
+  if (shards > 1) {
+    std::vector<std::uint32_t> map(nodes);
+    for (std::uint32_t i = 0; i < nodes; ++i) map[i] = i * shards / nodes;
+    sim.configure_shards(std::move(map), shards, window, threads);
+  }
+  Runner runner{sim, nodes, /*max_depth=*/4, {}};
+  runner.seed_roots(seed, /*roots=*/8);
+  sim.run_until(sim::seconds_f(1.0));
+  if (stats != nullptr) {
+    *stats = {sim.events_executed(), sim.peak_pending_events()};
+  }
+  if (crossings != nullptr) *crossings = sim.cross_shard_sends();
+  return std::move(runner.log);
+}
+
+// The tentpole determinism property: identical fire logs (time, node, tag,
+// order) for the serial kernel and every sharded/threaded variant.
+TEST(ShardedKernel, FireOrderMatchesSerialForAnyShardAndThreadCount) {
+  const Time window = sim::microseconds(756);
+  for (const std::uint64_t seed : {1ull, 42ull, 0xdecafull}) {
+    RunStats serial_stats{};
+    const auto serial =
+        run_program(seed, 24, 1, 1, Time::zero(), &serial_stats);
+    ASSERT_FALSE(serial.empty());
+    for (const auto [shards, threads] :
+         {std::pair<std::uint32_t, unsigned>{2, 1}, {4, 2}, {8, 8}}) {
+      RunStats stats{};
+      std::uint64_t crossings = 0;
+      const auto sharded =
+          run_program(seed, 24, shards, threads, window, &stats, &crossings);
+      EXPECT_EQ(serial, sharded)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(serial_stats.executed, stats.executed);
+      EXPECT_EQ(serial_stats.peak_pending, stats.peak_pending);
+      // The program hops nodes at random, so a multi-shard run must route
+      // real traffic across boundaries to reproduce the serial order.
+      EXPECT_GT(crossings, 0u);
+    }
+  }
+}
+
+// Fired timestamps never regress: the cross-engine merge commits in exact
+// global (at, seq) order, so boundary-crossing events interleave with
+// shard-local ones without ever rewinding the clock.
+TEST(ShardedKernel, CommitOrderIsMonotoneAcrossBoundaries) {
+  const auto log = run_program(7, 24, 4, 2, sim::microseconds(756));
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log[i - 1].at_ns, log[i].at_ns) << "at index " << i;
+  }
+}
+
+// Every cross-shard handoff the kernel reports is causally sane: scheduled
+// sends carry a timestamp at or after the sender's now, and the hook's
+// tallies reconcile with the aggregate counters and the per-pair channels.
+TEST(ShardedKernel, ChannelHookObservesOrderedCrossings) {
+  sim::Simulator sim;
+  const std::uint32_t nodes = 24, shards = 4;
+  std::vector<std::uint32_t> map(nodes);
+  for (std::uint32_t i = 0; i < nodes; ++i) map[i] = i * shards / nodes;
+  sim.configure_shards(std::move(map), shards, sim::microseconds(756), 2);
+
+  struct Crossing {
+    std::uint32_t from, to;
+    std::int64_t at_ns;
+    bool sync;
+  };
+  std::vector<Crossing> seen;
+  sim.set_channel_hook(
+      [&](std::uint32_t from, std::uint32_t to, Time at, bool sync) {
+        EXPECT_NE(from, to);
+        EXPECT_GE(at, sim.now());
+        seen.push_back({from, to, at.nanos(), sync});
+      });
+
+  Runner runner{sim, nodes, /*max_depth=*/4, {}};
+  runner.seed_roots(/*seed=*/3, /*roots=*/8);
+  sim.run_until(sim::seconds_f(1.0));
+
+  ASSERT_FALSE(seen.empty());
+  std::uint64_t scheduled = 0, sync = 0;
+  std::vector<std::uint64_t> per_pair(shards * shards, 0);
+  for (const auto& c : seen) {
+    (c.sync ? sync : scheduled)++;
+    ++per_pair[c.from * shards + c.to];
+  }
+  EXPECT_EQ(scheduled, sim.cross_shard_sends());
+  EXPECT_EQ(sync, sim.sync_crossings());
+  for (std::uint32_t f = 0; f < shards; ++f) {
+    for (std::uint32_t t = 0; t < shards; ++t) {
+      EXPECT_EQ(per_pair[f * shards + t], sim.channel_traffic(f, t));
+    }
+  }
+}
+
+// The staging phase is a pure reorder-ahead: an engine that pre-sorts via
+// stage_until() at arbitrary horizons pops the identical (at, seq) stream
+// as one that never stages.
+TEST(ShardedKernel, StageUntilNeverChangesPopOrder) {
+  for (const std::uint64_t seed : {5ull, 99ull}) {
+    sim::EventEngine plain, staged;
+    std::vector<std::uint64_t> plain_log, staged_log;
+    std::uint64_t h = seed;
+    for (int i = 0; i < 500; ++i) {
+      h = sim::splitmix64(h);
+      const Time at{static_cast<std::int64_t>(h % 50'000'000)};
+      plain.schedule(at, [&plain_log, h] { plain_log.push_back(h); });
+      staged.schedule(at, [&staged_log, h] { staged_log.push_back(h); });
+      if (i % 7 == 0) {
+        staged.stage_until(Time{static_cast<std::int64_t>(
+            sim::splitmix64(h ^ 0xabcd) % 60'000'000)});
+      }
+    }
+    staged.stage_until(sim::milliseconds(20));
+    while (!plain.empty()) plain.fire_next();
+    while (!staged.empty()) staged.fire_next();
+    EXPECT_EQ(plain_log, staged_log);
+    EXPECT_GT(staged.staged_events(), 0u);
+  }
+}
+
+TEST(ShardedKernel, GridColumnsMatchesNeighborIndexGeometry) {
+  EXPECT_EQ(sim::grid_columns(1000.0, 250.0), 4u);
+  EXPECT_EQ(sim::grid_columns(1732.1, 250.0), 6u);
+  EXPECT_EQ(sim::grid_columns(14142.1, 250.0), 56u);
+  // A field narrower than one cell still forms a single column.
+  EXPECT_EQ(sim::grid_columns(100.0, 250.0), 1u);
+}
+
+TEST(ShardedKernel, StripeShardsIsMonotoneBalancedAndClamped) {
+  const double field = 2000.0, cell = 250.0;
+  std::vector<double> xs;
+  std::uint64_t h = 11;
+  for (int i = 0; i < 400; ++i) {
+    h = sim::splitmix64(h);
+    // Include out-of-field positions to exercise the clamp.
+    xs.push_back(static_cast<double>(h % 2400) - 200.0);
+  }
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    const auto shard = sim::stripe_shards(xs, field, cell, k);
+    ASSERT_EQ(shard.size(), xs.size());
+    std::vector<std::size_t> count(k, 0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      ASSERT_LT(shard[i], k);
+      ++count[shard[i]];
+      for (std::size_t j = 0; j < xs.size(); ++j) {
+        if (xs[i] < xs[j]) EXPECT_LE(shard[i], shard[j]);
+      }
+    }
+    // Uniform positions stripe near-evenly: every shard owns someone.
+    for (const auto c : count) EXPECT_GT(c, 0u);
+  }
+}
+
+TEST(ShardedKernel, ShardScopeCountsDeliveriesNotHoming) {
+  sim::Simulator sim;
+  sim.configure_shards({0, 0, 1, 1}, 2, sim::microseconds(500), 1);
+  EXPECT_EQ(sim.current_shard(), 0u);
+  {
+    sim::ShardScope homing(sim, 1, sim::ShardScope::Kind::kHoming);
+    EXPECT_EQ(sim.current_shard(), 1u);
+    EXPECT_EQ(sim.sync_crossings(), 0u);
+    {
+      sim::ShardScope same(sim, 1);  // no boundary: not a crossing
+      EXPECT_EQ(sim.sync_crossings(), 0u);
+      sim::ShardScope delivery(sim, 0);
+      EXPECT_EQ(sim.sync_crossings(), 1u);
+      EXPECT_EQ(sim.current_shard(), 0u);
+    }
+    EXPECT_EQ(sim.current_shard(), 1u);
+  }
+  EXPECT_EQ(sim.current_shard(), 0u);
+  EXPECT_EQ(sim.channel_traffic(1, 0), 1u);
+}
+
+TEST(ShardedKernel, CancelAndPendingDecodeShardTaggedIds) {
+  sim::Simulator sim;
+  sim.configure_shards({0, 0, 1, 1}, 2, sim::microseconds(500), 1);
+  bool fired = false;
+  const auto id = sim.at_node(3, sim::milliseconds(1), [&fired] { fired = true; });
+  EXPECT_TRUE(sim.pending(id));
+  EXPECT_EQ(sim.shard_pending(1), 1u);
+  EXPECT_EQ(sim.shard_pending(0), 0u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.pending(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.run_until(sim::milliseconds(2));
+  EXPECT_FALSE(fired);
+}
+
+TEST(ShardedKernel, ConservativeLookaheadDerivesFromChannelFloor) {
+  // 250 kbps, 500 us min backoff, 8-byte beacon: 500 us + 256 us airtime.
+  const auto la = channel::conservative_lookahead(250'000.0, sim::microseconds(500),
+                                                 8, 20.0);
+  EXPECT_EQ(la.window.nanos(), 756'000);
+  // Two nodes closing at 2 x 20 m/s for 756 us: ~3 cm of drift per window.
+  EXPECT_NEAR(la.guard_band_m, 2.0 * 20.0 * 756e-6, 1e-9);
+}
+
+}  // namespace
+}  // namespace rica
