@@ -6,8 +6,9 @@ Lookahead conservative_lookahead(double rate_bps, sim::Time backoff_min,
                                  unsigned min_control_bytes,
                                  double max_speed_mps) {
   // Smallest-frame airtime at the common-channel rate; the paper's 250 kbps
-  // and the stack's 8-byte ABR beacon give ~256 us, on top of the 500 us
-  // minimum backoff — a ~756 us window.
+  // and the 9-byte encoded ABR beacon (wire::kMinControlBytes, derived from
+  // the codecs) give 288 us, on top of the 500 us minimum backoff — a
+  // 788 us window.
   const double airtime_s = rate_bps > 0.0
                                ? min_control_bytes * 8.0 / rate_bps
                                : 0.0;

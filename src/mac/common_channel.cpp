@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "net/wire.hpp"
 #include "obs/perfetto.hpp"
 
 namespace rica::mac {
@@ -50,6 +51,12 @@ sim::Time CommonChannelMac::airtime(std::uint16_t size_bytes) const {
 
 void CommonChannelMac::send(net::NodeId from, net::ControlPacket pkt) {
   assert(from < nodes_.size());
+  // Airtime is charged from size_bytes, so it must be the frame's exact
+  // encoded size (make_control stamps it; anything smaller than the codec
+  // floor would also break the sharded kernel's lookahead soundness).
+  assert(pkt.size_bytes >= net::wire::kMinControlBytes &&
+         pkt.size_bytes == net::wire::encoded_control_size(pkt.payload) &&
+         "control frames must carry their exact encoded size");
   auto& st = nodes_[from];
   if (st.queue.size() >= cfg_.queue_cap) {
     metrics_.inc("mac.ctrl_queue_drop");

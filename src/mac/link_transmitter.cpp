@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "net/wire.hpp"
 #include "obs/perfetto.hpp"
 
 namespace rica::mac {
@@ -112,9 +113,14 @@ void LinkTransmitter::tx_attempt(net::NodeId neighbor) {
   }
   const double rate = channel::throughput_bps(sample->csi);
   const auto& pkt = link.q.front().pkt;
-  const sim::Time data_time = sim::seconds_f(pkt.size_bytes * 8.0 / rate);
+  // A frame on the air is the encoded header plus the payload — charging
+  // the bare payload (as this path once did) undercounts data airtime
+  // relative to the byte-exact control accounting.
+  const std::size_t frame_bytes = net::wire::kDataHeaderBytes + pkt.size_bytes;
+  const sim::Time data_time = sim::seconds_f(frame_bytes * 8.0 / rate);
   const sim::Time ack_time = sim::seconds_f(cfg_.ack_bytes * 8.0 / rate);
   const auto csi = sample->csi;
+  data_header_bits_ += net::wire::kDataHeaderBytes * 8u;
 
   trace_pkt("tx_start", pkt, neighbor);
   if (auto* writer = metrics_.tracer().perfetto()) {

@@ -73,6 +73,13 @@ class LinkTransmitter {
   /// Peak live buffered data packets across all links (pool gauge).
   [[nodiscard]] std::size_t pool_high_water() const;
 
+  /// Encoded data-frame header bits this node has put on the air (every
+  /// transmission attempt charges wire::kDataHeaderBytes on top of the
+  /// payload; the stats registry sums this across nodes).
+  [[nodiscard]] std::uint64_t data_header_bits() const {
+    return data_header_bits_;
+  }
+
   /// Occupancy of the open-addressing link table (observability gauge).
   [[nodiscard]] double table_load() const { return links_.load_factor(); }
 
@@ -113,6 +120,7 @@ class LinkTransmitter {
   channel::ChannelModel& channel_;
   stats::MetricsCollector& metrics_;
   LinkConfig cfg_;
+  std::uint64_t data_header_bits_ = 0;
   /// Shared data-queue node pool; must outlive links_ (declared first).
   util::FreeListPool<Queued> data_pool_;
   util::FlatMap64<Link> links_;

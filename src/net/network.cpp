@@ -6,6 +6,7 @@
 
 #include "channel/lookahead.hpp"
 #include "net/packet.hpp"
+#include "net/wire.hpp"
 #include "sim/sharding.hpp"
 
 namespace rica::net {
@@ -15,6 +16,10 @@ namespace {
 // validating inside its initializer rejects oversized populations (and
 // malformed shard requests) before mobility/channel state is allocated.
 const NetworkConfig& validate(const NetworkConfig& cfg) {
+  // The wire layout constants back both airtime accounting and the sharded
+  // lookahead floor; refuse to build any network if they drifted from the
+  // live encoders.
+  wire::check_wire_invariants();
   if (cfg.num_nodes > kMaxNodes) {
     throw std::invalid_argument(
         "NetworkConfig.num_nodes = " + std::to_string(cfg.num_nodes) +
@@ -66,7 +71,7 @@ Network::Network(const NetworkConfig& cfg)
     if (window <= sim::Time::zero()) {
       window = channel::conservative_lookahead(
                    cfg.common_mac.rate_bps, cfg.common_mac.backoff_min,
-                   kMinControlBytes, mobility_.max_speed_mps())
+                   wire::kMinControlBytes, mobility_.max_speed_mps())
                    .window;
     }
     sim_.configure_shards(
@@ -111,6 +116,16 @@ Network::Network(const NetworkConfig& cfg)
   registry_.gauge_fn("stack.table_load", [this] { return table_load(); });
   registry_.gauge_fn("stack.buffered_packets", [this] {
     return static_cast<double>(buffered_packets());
+  });
+  // Byte-exact overhead accounting (net/wire.hpp): control frames as
+  // bytes-on-air (what fig. 4 compares), and the encoded data-frame header
+  // bytes charged on top of every data payload.
+  registry_.counter_fn("net.control_bytes_on_air",
+                       [this] { return metrics_.control_bits() / 8.0; });
+  registry_.counter_fn("net.data_header_bytes", [this] {
+    std::uint64_t bits = 0;
+    for (const auto& n : nodes_) bits += n->data_header_bits();
+    return static_cast<double>(bits) / 8.0;
   });
   // Sharded-kernel telemetry: all zero on the serial engine, and the
   // per-shard counters only exist when the kernel is actually sharded (so

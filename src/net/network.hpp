@@ -34,11 +34,8 @@ struct NetworkConfig {
   sim::KernelConfig kernel{};
 };
 
-/// Largest node population a network may instantiate.  Node ids must fit
-/// 24 bits: routing history keys pack `(tag << 24 | origin)` into 32 bits
-/// (see routing/tables.hpp), so a larger id would silently alias history
-/// entries.  Enforced at Network construction.
-inline constexpr std::size_t kMaxNodes = std::size_t{1} << 24;
+// kMaxNodes (the 24-bit node-id ceiling this constructor enforces) lives in
+// net/packet.hpp alongside the address types the wire codecs validate with.
 
 /// Owns the full simulation stack.  Protocols are installed per node by the
 /// harness (which knows which protocol family is under test); then start()

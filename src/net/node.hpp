@@ -59,6 +59,11 @@ class Node final : public routing::ProtocolHost {
     return links_.pool_high_water();
   }
 
+  /// Encoded data-frame header bits this node has put on the air.
+  [[nodiscard]] std::uint64_t data_header_bits() const {
+    return links_.data_header_bits();
+  }
+
   /// Max open-addressing occupancy across this node's link table and the
   /// protocol's routing tables (observability).
   [[nodiscard]] double table_load() const {

@@ -6,9 +6,9 @@
 // in §III-A).
 #pragma once
 
-#include <algorithm>
-#include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -21,6 +21,13 @@ using NodeId = std::uint32_t;
 
 /// Destination id meaning "all nodes in range" on the common channel.
 inline constexpr NodeId kBroadcastId = 0xFFFFFFFFu;
+
+/// Terminal population ceiling: node ids must fit 24 bits.  The routing
+/// history tables pack (terminal, counter) keys into 64-bit integers
+/// (util/flat_table.hpp) and the wire codecs reject wider addresses
+/// (net/wire.hpp) — kBroadcastId is the one legal wider value, and only in
+/// a frame's `to` field.
+inline constexpr std::size_t kMaxNodes = std::size_t{1} << 24;
 
 /// A (source, destination) pair key for per-flow protocol state.
 using FlowKey = std::uint64_t;
@@ -49,6 +56,8 @@ struct DataPacket {
   std::uint16_t hops = 0;        ///< topological hops traversed so far
   double tput_sum_bps = 0.0;     ///< sum of link throughputs traversed
 
+  friend bool operator==(const DataPacket&, const DataPacket&) = default;
+
   [[nodiscard]] FlowKey key() const { return flow_key(src, dst); }
 };
 
@@ -64,6 +73,8 @@ struct RreqMsg {
   std::uint32_t bid = 0;  ///< broadcast id; (src,dst,bid) identifies a RREQ
   double csi_hops = 0.0;
   std::uint16_t topo_hops = 0;
+
+  friend bool operator==(const RreqMsg&, const RreqMsg&) = default;
 };
 
 /// RICA / BGCA route reply, unicast hop-by-hop along stored upstreams.
@@ -73,6 +84,8 @@ struct RrepMsg {
   std::uint32_t bid = 0;
   double csi_hops = 0.0;
   std::uint16_t topo_hops = 0;     ///< hops from the destination so far
+
+  friend bool operator==(const RrepMsg&, const RrepMsg&) = default;
 };
 
 /// RICA CSI-checking packet (§II-C), broadcast by the destination with a TTL
@@ -87,12 +100,16 @@ struct CsiCheckMsg {
   NodeId received_from = 0;  ///< §II-C: the rebroadcaster names the terminal
                              ///< it got the packet from, so that terminal can
                              ///< overhear and arm its PN detection window
+
+  friend bool operator==(const CsiCheckMsg&, const CsiCheckMsg&) = default;
 };
 
 /// RICA route update, unicast from the source to its new first hop (§II-C).
 struct RupdMsg {
   NodeId src = 0;
   NodeId dst = 0;
+
+  friend bool operator==(const RupdMsg&, const RupdMsg&) = default;
 };
 
 /// RICA / BGCA route error, unicast upstream (§II-D).
@@ -100,6 +117,8 @@ struct ReerMsg {
   NodeId src = 0;
   NodeId dst = 0;
   NodeId reporter = 0;  ///< terminal that observed the break
+
+  friend bool operator==(const ReerMsg&, const ReerMsg&) = default;
 };
 
 /// BGCA local query: TTL-bounded search for a partial route from `origin`
@@ -113,6 +132,8 @@ struct BgcaLqMsg {
   double csi_hops = 0.0;
   std::uint16_t topo_hops = 0;
   std::uint16_t origin_hops_to_dst = 0;  ///< loop guard for join eligibility
+
+  friend bool operator==(const BgcaLqMsg&, const BgcaLqMsg&) = default;
 };
 
 /// BGCA local-query reply, unicast back along the LQ reverse path.
@@ -124,11 +145,16 @@ struct BgcaLqReplyMsg {
   double csi_hops = 0.0;
   std::uint16_t join_hops_to_dst = 0;
   NodeId join = 0;  ///< the on-path terminal that answered
+
+  friend bool operator==(const BgcaLqReplyMsg&, const BgcaLqReplyMsg&) =
+      default;
 };
 
 /// ABR periodic beacon; drives associativity ticks.
 struct AbrBeaconMsg {
   NodeId origin = 0;
+
+  friend bool operator==(const AbrBeaconMsg&, const AbrBeaconMsg&) = default;
 };
 
 /// ABR broadcast query: accumulates aggregate stability and load.
@@ -139,6 +165,8 @@ struct AbrBqMsg {
   std::uint32_t tick_sum = 0;  ///< aggregate associativity over the path
   std::uint32_t load_sum = 0;  ///< sum of buffered packets at relays
   std::uint16_t topo_hops = 0;
+
+  friend bool operator==(const AbrBqMsg&, const AbrBqMsg&) = default;
 };
 
 /// ABR route reply, unicast along the reverse path of the chosen BQ copy.
@@ -147,6 +175,8 @@ struct AbrReplyMsg {
   NodeId dst = 0;
   std::uint32_t bid = 0;
   std::uint16_t topo_hops = 0;
+
+  friend bool operator==(const AbrReplyMsg&, const AbrReplyMsg&) = default;
 };
 
 /// ABR localized query for route repair (TTL-bounded).
@@ -158,6 +188,8 @@ struct AbrLqMsg {
   std::int16_t ttl = 0;
   std::uint16_t topo_hops = 0;
   std::uint16_t origin_hops_to_dst = 0;
+
+  friend bool operator==(const AbrLqMsg&, const AbrLqMsg&) = default;
 };
 
 /// ABR localized-query reply.
@@ -168,6 +200,8 @@ struct AbrLqReplyMsg {
   std::uint32_t bid = 0;
   std::uint16_t join_hops_to_dst = 0;
   NodeId join = 0;
+
+  friend bool operator==(const AbrLqReplyMsg&, const AbrLqReplyMsg&) = default;
 };
 
 /// ABR route notification: repair failed, backtrack one hop toward source.
@@ -175,6 +209,8 @@ struct AbrRnMsg {
   NodeId src = 0;
   NodeId dst = 0;
   NodeId reporter = 0;
+
+  friend bool operator==(const AbrRnMsg&, const AbrRnMsg&) = default;
 };
 
 /// AODV route request (paper's comparator: topological hop metric).
@@ -183,6 +219,8 @@ struct AodvRreqMsg {
   NodeId dst = 0;
   std::uint32_t bid = 0;
   std::uint16_t hops = 0;
+
+  friend bool operator==(const AodvRreqMsg&, const AodvRreqMsg&) = default;
 };
 
 /// AODV route reply; the destination answers only the first RREQ copy.
@@ -191,6 +229,8 @@ struct AodvRrepMsg {
   NodeId dst = 0;
   std::uint32_t bid = 0;
   std::uint16_t hops = 0;
+
+  friend bool operator==(const AodvRrepMsg&, const AodvRrepMsg&) = default;
 };
 
 /// AODV route error, unicast toward the source.
@@ -198,6 +238,8 @@ struct AodvRerrMsg {
   NodeId src = 0;
   NodeId dst = 0;
   NodeId reporter = 0;
+
+  friend bool operator==(const AodvRerrMsg&, const AodvRerrMsg&) = default;
 };
 
 /// Link-state update: one origin's full adjacency row (neighbour, CSI class).
@@ -205,6 +247,8 @@ struct LsuMsg {
   NodeId origin = 0;
   std::uint32_t seq = 0;
   std::vector<std::pair<NodeId, channel::CsiClass>> links;
+
+  friend bool operator==(const LsuMsg&, const LsuMsg&) = default;
 };
 
 using ControlPayload =
@@ -220,56 +264,11 @@ struct ControlPacket {
   ControlPayload payload;
 };
 
-/// Smallest control frame any protocol emits (the ABR beacon below).  This
-/// is the sharded kernel's lookahead floor: no transmission can complete —
-/// and therefore no cross-shard causal effect can land — in less than this
-/// frame's airtime plus the MAC's minimum backoff (channel/lookahead.hpp).
-inline constexpr std::uint16_t kMinControlBytes = 8;
-
-/// Wire size charged to the common channel for each message type.  Sizes are
-/// representative of the fields §II lists (addresses, ids, hop counts).
-[[nodiscard]] inline std::uint16_t control_size_bytes(
-    const ControlPayload& payload) {
-  struct Sizer {
-    std::uint16_t operator()(const RreqMsg&) const { return 24; }
-    std::uint16_t operator()(const RrepMsg&) const { return 20; }
-    std::uint16_t operator()(const CsiCheckMsg&) const { return 20; }
-    std::uint16_t operator()(const RupdMsg&) const { return 12; }
-    std::uint16_t operator()(const ReerMsg&) const { return 16; }
-    std::uint16_t operator()(const BgcaLqMsg&) const { return 24; }
-    std::uint16_t operator()(const BgcaLqReplyMsg&) const { return 20; }
-    std::uint16_t operator()(const AbrBeaconMsg&) const { return 8; }
-    std::uint16_t operator()(const AbrBqMsg&) const { return 24; }
-    std::uint16_t operator()(const AbrReplyMsg&) const { return 20; }
-    std::uint16_t operator()(const AbrLqMsg&) const { return 24; }
-    std::uint16_t operator()(const AbrLqReplyMsg&) const { return 20; }
-    std::uint16_t operator()(const AbrRnMsg&) const { return 16; }
-    std::uint16_t operator()(const AodvRreqMsg&) const { return 24; }
-    std::uint16_t operator()(const AodvRrepMsg&) const { return 20; }
-    std::uint16_t operator()(const AodvRerrMsg&) const { return 16; }
-    std::uint16_t operator()(const LsuMsg& m) const {
-      // The only variable-length message: 12 header bytes plus 5 per link.
-      // A row can name every other terminal on dense large-scale topologies,
-      // so compute wide and clamp instead of silently truncating mod 2^16
-      // (the debug assert flags any scenario that actually hits the clamp).
-      const std::size_t raw = 12 + 5 * m.links.size();
-      assert(raw <= 0xFFFF && "LSU size overflows the wire-size field");
-      return static_cast<std::uint16_t>(std::min<std::size_t>(raw, 0xFFFF));
-    }
-  };
-  const std::uint16_t size = std::visit(Sizer{}, payload);
-  assert(size > 0 && "control messages always have a positive wire size");
-  return size;
-}
-
-/// Builds a control packet with its wire size filled in.
-[[nodiscard]] inline ControlPacket make_control(NodeId to,
-                                                ControlPayload payload) {
-  ControlPacket pkt;
-  pkt.to = to;
-  pkt.size_bytes = control_size_bytes(payload);
-  pkt.payload = std::move(payload);
-  return pkt;
-}
+/// Builds a control packet with its exact encoded wire size stamped in —
+/// `size_bytes` is what the codec in net/wire.hpp serializes this payload
+/// to, byte for byte, and is what the MAC charges as airtime.  Defined in
+/// wire.cpp.  Throws wire::WireError when an LsuMsg adjacency row is too
+/// dense for the u16 wire-size field (the emitter must split the row).
+[[nodiscard]] ControlPacket make_control(NodeId to, ControlPayload payload);
 
 }  // namespace rica::net

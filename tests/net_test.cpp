@@ -5,6 +5,7 @@
 #include "core/rica.hpp"
 #include "net/network.hpp"
 #include "net/packet.hpp"
+#include "net/wire.hpp"
 #include "routing/aodv/aodv.hpp"
 
 namespace rica::net {
@@ -18,20 +19,22 @@ TEST(FlowKey, RoundTrips) {
 }
 
 TEST(ControlSizes, AllTypesHavePositiveSize) {
-  EXPECT_GT(control_size_bytes(RreqMsg{}), 0);
-  EXPECT_GT(control_size_bytes(RrepMsg{}), 0);
-  EXPECT_GT(control_size_bytes(CsiCheckMsg{}), 0);
-  EXPECT_GT(control_size_bytes(RupdMsg{}), 0);
-  EXPECT_GT(control_size_bytes(ReerMsg{}), 0);
-  EXPECT_GT(control_size_bytes(AbrBeaconMsg{}), 0);
-  EXPECT_GT(control_size_bytes(AodvRreqMsg{}), 0);
+  EXPECT_GT(wire::encoded_control_size(RreqMsg{}), 0);
+  EXPECT_GT(wire::encoded_control_size(RrepMsg{}), 0);
+  EXPECT_GT(wire::encoded_control_size(CsiCheckMsg{}), 0);
+  EXPECT_GT(wire::encoded_control_size(RupdMsg{}), 0);
+  EXPECT_GT(wire::encoded_control_size(ReerMsg{}), 0);
+  EXPECT_GT(wire::encoded_control_size(AbrBeaconMsg{}), 0);
+  EXPECT_GT(wire::encoded_control_size(AodvRreqMsg{}), 0);
 }
 
 TEST(ControlSizes, BeaconIsSmallest) {
-  // Beacons dominate ABR's idle overhead; they must be the cheapest packet.
-  const auto beacon = control_size_bytes(AbrBeaconMsg{});
-  EXPECT_LT(beacon, control_size_bytes(RreqMsg{}));
-  EXPECT_LT(beacon, control_size_bytes(LsuMsg{}));
+  // Beacons dominate ABR's idle overhead; they must be the cheapest packet
+  // (they are also the sharded kernel's lookahead floor, wire.hpp).
+  const auto beacon = wire::encoded_control_size(AbrBeaconMsg{});
+  EXPECT_EQ(beacon, wire::kMinControlBytes);
+  EXPECT_LT(beacon, wire::encoded_control_size(RreqMsg{}));
+  EXPECT_LT(beacon, wire::encoded_control_size(LsuMsg{}));
 }
 
 TEST(ControlSizes, LsuGrowsWithAdjacency) {
@@ -39,24 +42,42 @@ TEST(ControlSizes, LsuGrowsWithAdjacency) {
   small.links = {{1, channel::CsiClass::A}};
   LsuMsg big;
   for (NodeId i = 0; i < 10; ++i) big.links.emplace_back(i, channel::CsiClass::B);
-  EXPECT_LT(control_size_bytes(small), control_size_bytes(big));
+  EXPECT_LT(wire::encoded_control_size(small),
+            wire::encoded_control_size(big));
 }
 
 TEST(ControlSizes, DenseLsuStaysExactWithinTheWireField) {
   // A 500-terminal row (the large-scale preset's worst case, far past the
   // old uint16 truncation hazard's comfort zone) must size exactly, not
-  // wrap: 12 + 5 * 500 = 2512.
+  // wrap: 5 frame header + 10 fixed body + 5 * 500 = 2515 — and it must be
+  // the encoder's real output, byte for byte.
   LsuMsg dense;
   for (NodeId i = 0; i < 500; ++i) {
     dense.links.emplace_back(i, channel::CsiClass::D);
   }
-  EXPECT_EQ(control_size_bytes(dense), 2512);
+  EXPECT_EQ(wire::encoded_control_size(dense), 2515);
+  std::vector<std::uint8_t> buf;
+  EXPECT_EQ(wire::encode_control(make_control(kBroadcastId, dense), buf),
+            2515u);
+}
+
+TEST(ControlSizes, OverflowingLsuThrowsInsteadOfClamping) {
+  // 13 105+ links push the frame past the u16 wire-size field.  The old
+  // Sizer clamped to 0xFFFF behind a Release-vanishing assert (silently
+  // under-charging airtime); now it is a hard error in every build mode.
+  LsuMsg huge;
+  for (NodeId i = 0; i < 13200; ++i) {
+    huge.links.emplace_back(i, channel::CsiClass::A);
+  }
+  EXPECT_THROW(wire::encoded_control_size(ControlPayload{huge}),
+               wire::WireError);
+  EXPECT_THROW(make_control(kBroadcastId, huge), wire::WireError);
 }
 
 TEST(MakeControl, FillsSizeAndTarget) {
   const auto pkt = make_control(7, ReerMsg{1, 2, 3});
   EXPECT_EQ(pkt.to, 7u);
-  EXPECT_EQ(pkt.size_bytes, control_size_bytes(ReerMsg{}));
+  EXPECT_EQ(pkt.size_bytes, wire::encoded_control_size(ReerMsg{}));
   EXPECT_TRUE(std::holds_alternative<ReerMsg>(pkt.payload));
 }
 

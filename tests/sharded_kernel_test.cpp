@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "channel/lookahead.hpp"
+#include "net/wire.hpp"
 #include "sim/event_engine.hpp"
 #include "sim/random.hpp"
 #include "sim/sharding.hpp"
@@ -275,12 +276,14 @@ TEST(ShardedKernel, CancelAndPendingDecodeShardTaggedIds) {
 }
 
 TEST(ShardedKernel, ConservativeLookaheadDerivesFromChannelFloor) {
-  // 250 kbps, 500 us min backoff, 8-byte beacon: 500 us + 256 us airtime.
-  const auto la = channel::conservative_lookahead(250'000.0, sim::microseconds(500),
-                                                 8, 20.0);
-  EXPECT_EQ(la.window.nanos(), 756'000);
-  // Two nodes closing at 2 x 20 m/s for 756 us: ~3 cm of drift per window.
-  EXPECT_NEAR(la.guard_band_m, 2.0 * 20.0 * 756e-6, 1e-9);
+  // 250 kbps, 500 us min backoff, and the codec-derived floor — the 9-byte
+  // encoded ABR beacon: 500 us + 288 us airtime.
+  static_assert(net::wire::kMinControlBytes == 9);
+  const auto la = channel::conservative_lookahead(
+      250'000.0, sim::microseconds(500), net::wire::kMinControlBytes, 20.0);
+  EXPECT_EQ(la.window.nanos(), 788'000);
+  // Two nodes closing at 2 x 20 m/s for 788 us: ~3 cm of drift per window.
+  EXPECT_NEAR(la.guard_band_m, 2.0 * 20.0 * 788e-6, 1e-9);
 }
 
 }  // namespace
