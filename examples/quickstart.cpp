@@ -12,11 +12,18 @@
 //
 // Observability: `--trace-out run.jsonl` streams structured packet/route/
 // kernel lifecycle records (narrow with `--trace-filter packet,route`);
+// `--span-trace` adds causal span records — one root per packet whose
+// child durations (route_wait/queue/backoff/airtime/retry) sum exactly to
+// its end-to-end delay; reconstruct chains with scripts/trace_query.py.
 // `--perfetto-out run.json` writes a Chrome trace_event profile — open
 // chrome://tracing (or https://ui.perfetto.dev) and load the file to see
 // per-link data transmissions, per-node control traffic, and kernel
 // counters on a shared timeline; `--series-out run.csv --sample-dt 0.5`
 // samples queue depth / delivery rate / control overhead every 0.5 s.
+// `--flight-recorder[=N]` keeps the last N trace records (default 65536)
+// in a ring cheap enough to leave on; `--flight-dump FILE` writes them as
+// JSONL at exit — or at the first anomaly when `--watchdogs` arms the
+// drop-spike / discovery-storm / stalled-flow / queue-backlog monitors.
 // All sim-time stamped: rerunning the same seed reproduces every output
 // byte for byte.
 //
@@ -32,6 +39,7 @@
 #include "harness/flags.hpp"
 #include "harness/scenario.hpp"
 #include "mobility/trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/random.hpp"
 
 int main(int argc, char** argv) {
@@ -55,9 +63,23 @@ int main(int argc, char** argv) {
     cfg.shards = static_cast<std::uint32_t>(flags.get("shards", 1));
     cfg.trace_out = flags.get("trace-out", std::string{});
     cfg.trace_filter = flags.get("trace-filter", cfg.trace_filter);
+    if (flags.has("span-trace") &&
+        cfg.trace_filter.find("span") == std::string::npos) {
+      cfg.trace_filter += ",span";
+    }
     cfg.perfetto_out = flags.get("perfetto-out", std::string{});
     cfg.series_out = flags.get("series-out", std::string{});
     cfg.sample_dt_s = flags.get("sample-dt", 0.0);
+    if (flags.has("flight-recorder")) {
+      // Bare `--flight-recorder` parses as "1": treat it as "use the
+      // default ring"; an explicit `=N` sets the capacity.
+      const auto n = flags.get("flight-recorder", std::uint64_t{1});
+      cfg.flight_recorder =
+          n <= 1 ? obs::FlightRecorder::kDefaultCapacity
+                 : static_cast<std::size_t>(n);
+    }
+    cfg.flight_dump = flags.get("flight-dump", std::string{});
+    cfg.watchdogs = flags.has("watchdogs");
 
     std::printf("protocol=%s  nodes=%zu  field=%.0fm  mean speed=%.1f km/h\n",
                 std::string(harness::to_string(cfg.protocol)).c_str(),
@@ -132,6 +154,19 @@ int main(int argc, char** argv) {
     }
     if (!cfg.series_out.empty()) {
       std::printf("time series           : %s\n", cfg.series_out.c_str());
+    }
+    if (cfg.watchdogs) {
+      const auto stat = [&r](const char* name) {
+        const auto it = r.stats.find(name);
+        return it == r.stats.end() ? 0.0 : it->second.value;
+      };
+      std::printf("watchdogs             : drop_spike=%.0f"
+                  " discovery_storm=%.0f stalled=%.0f backlog=%.0f\n",
+                  stat("anomaly.drop_spike"), stat("anomaly.discovery_storm"),
+                  stat("anomaly.stalled_flows"), stat("anomaly.queue_backlog"));
+    }
+    if (!cfg.flight_dump.empty()) {
+      std::printf("flight dump           : %s\n", cfg.flight_dump.c_str());
     }
     if (flags.has("verbose")) {
       std::printf("\nper-flow (gen/del/drop, tput kbps, p95 ms):\n");

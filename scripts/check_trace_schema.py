@@ -3,15 +3,24 @@
 
 Checks a JSONL trace produced by `--trace-out` line by line: every line must
 parse as a JSON object, carry a known `type`, provide that type's full key
-set, and use a stage from the documented vocabulary.  Sim-time stamps must
-be non-decreasing across the file (records are emitted in event-execution
-order).  Optionally also validates a `--perfetto` trace_event JSON (it must
-parse and contain the metadata/slice/counter phases chrome://tracing needs)
-and a `--series` CSV (header + fixed column count per row).
+set *in the fixed emission order*, and use a stage (or span kind) from the
+documented vocabulary.  Sim-time stamps must be non-decreasing across the
+file (records are emitted in event-execution order).  Span records get a
+second pass: ids must be unique and nonzero, `start_ns + dur_ns == t_ns`,
+and every nonzero `parent` must reference a span id that appears somewhere
+in the file — spans are emitted when they *close*, so a parent legally
+appears after its children.
+
+Optionally also validates a `--perfetto` trace_event JSON (it must parse and
+contain the metadata/slice/counter phases chrome://tracing needs), a
+`--series` CSV (header + fixed column count per row), and a `--flight`
+flight-recorder dump (one `type:flight` header line whose `retained` count
+matches the record lines that follow, which are themselves schema-checked).
 
 Stdlib only.  Exit status 0 when every check passes, 1 otherwise.
 
 Usage: check_trace_schema.py TRACE.jsonl [--perfetto FILE] [--series FILE]
+                             [--flight FILE]
 """
 
 import argparse
@@ -27,7 +36,7 @@ SCHEMAS = {
     },
     "route": {
         "keys": ["type", "stage", "t_ns", "node", "src", "dst", "bid",
-                 "metric", "protocol", "msg"],
+                 "metric", "protocol", "msg", "bytes"],
         "stages": {"discovery_start", "discovery_retry", "discovery_failed",
                    "control_tx", "control_lost", "established",
                    "repair_start", "repaired", "link_break",
@@ -38,12 +47,70 @@ SCHEMAS = {
                  "pending"],
         "stages": None,
     },
+    "span": {
+        "keys": ["type", "kind", "t_ns", "span", "parent", "trace", "flow",
+                 "seq", "node", "src", "dst", "start_ns", "dur_ns",
+                 "detail"],
+        "stages": None,
+        "kinds": {"packet", "route_wait", "queue", "backoff", "retry",
+                  "airtime", "discovery", "repair"},
+    },
 }
+
+# Span kinds that are roots (parent == 0, span == trace).
+ROOT_KINDS = {"packet", "discovery", "repair"}
+
+
+def check_record(rec, where, spans, errors):
+    """Validates one record dict; accumulates span ids/parents in `spans`."""
+    rtype = rec.get("type")
+    schema = SCHEMAS.get(rtype)
+    if schema is None:
+        errors.append(f"{where}: unknown record type {rtype!r}")
+        return None
+    keys = list(rec.keys())
+    if keys != schema["keys"]:
+        errors.append(f"{where}: {rtype} keys {keys} != {schema['keys']}")
+    if schema["stages"] is not None:
+        stage = rec.get("stage")
+        if stage not in schema["stages"]:
+            errors.append(f"{where}: unknown {rtype} stage {stage!r}")
+    if rtype == "span":
+        kind = rec.get("kind")
+        if kind not in schema["kinds"]:
+            errors.append(f"{where}: unknown span kind {kind!r}")
+        sid, parent, trace = rec.get("span"), rec.get("parent"), \
+            rec.get("trace")
+        if not sid:
+            errors.append(f"{where}: span id must be nonzero")
+        elif sid in spans["ids"]:
+            errors.append(f"{where}: duplicate span id {sid}")
+        else:
+            spans["ids"].add(sid)
+        if kind in ROOT_KINDS:
+            if parent != 0:
+                errors.append(f"{where}: root kind {kind!r} with parent "
+                              f"{parent}")
+            if trace != sid:
+                errors.append(f"{where}: root span {sid} with trace {trace}")
+        elif parent:
+            spans["parents"].append((where, parent))
+        if rec.get("start_ns", 0) + rec.get("dur_ns", 0) != rec.get("t_ns"):
+            errors.append(f"{where}: start_ns + dur_ns != t_ns")
+    return rtype
+
+
+def finish_spans(spans, errors):
+    """Second pass: every parent reference must resolve (forward refs ok)."""
+    for where, parent in spans["parents"]:
+        if parent not in spans["ids"]:
+            errors.append(f"{where}: parent span {parent} never emitted")
 
 
 def check_jsonl(path):
     errors = []
     counts = {}
+    spans = {"ids": set(), "parents": []}
     last_t = -1
     with open(path, "rb") as fh:
         for num, raw in enumerate(fh, 1):
@@ -53,20 +120,10 @@ def check_jsonl(path):
             except json.JSONDecodeError as e:
                 errors.append(f"{where}: not valid JSON ({e})")
                 continue
-            rtype = rec.get("type")
-            schema = SCHEMAS.get(rtype)
-            if schema is None:
-                errors.append(f"{where}: unknown record type {rtype!r}")
+            rtype = check_record(rec, where, spans, errors)
+            if rtype is None:
                 continue
             counts[rtype] = counts.get(rtype, 0) + 1
-            keys = list(rec.keys())
-            if keys != schema["keys"]:
-                errors.append(
-                    f"{where}: {rtype} keys {keys} != {schema['keys']}")
-            if schema["stages"] is not None:
-                stage = rec.get("stage")
-                if stage not in schema["stages"]:
-                    errors.append(f"{where}: unknown {rtype} stage {stage!r}")
             t = rec.get("t_ns")
             if not isinstance(t, int) or t < 0:
                 errors.append(f"{where}: t_ns must be a non-negative integer")
@@ -75,10 +132,70 @@ def check_jsonl(path):
                     f"{where}: t_ns {t} went backwards (prev {last_t})")
             else:
                 last_t = t
+    finish_spans(spans, errors)
     total = sum(counts.values())
     if total == 0:
         errors.append(f"{path}: empty trace")
     print(f"{path}: {total} records "
+          + " ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+    return errors
+
+
+def check_flight(path):
+    """A flight dump: one header line, then `retained` ordinary records.
+
+    The ring holds the *newest* records of a longer run, so a retained
+    child's parent may have rotated out — parent referential integrity is
+    therefore NOT enforced here, only id uniqueness and per-record shape.
+    """
+    errors = []
+    counts = {}
+    spans = {"ids": set(), "parents": []}
+    header = None
+    records = 0
+    last_t = -1
+    with open(path, "rb") as fh:
+        for num, raw in enumerate(fh, 1):
+            where = f"{path}:{num}"
+            try:
+                rec = json.loads(raw)
+            except json.JSONDecodeError as e:
+                errors.append(f"{where}: not valid JSON ({e})")
+                continue
+            if num == 1:
+                want = ["type", "t_ns", "capacity", "recorded", "retained",
+                        "trigger"]
+                if rec.get("type") != "flight":
+                    errors.append(f"{where}: first line must be the flight "
+                                  f"header, got type {rec.get('type')!r}")
+                elif list(rec.keys()) != want:
+                    errors.append(f"{where}: flight header keys "
+                                  f"{list(rec.keys())} != {want}")
+                else:
+                    header = rec
+                    if rec["retained"] > rec["capacity"]:
+                        errors.append(f"{where}: retained > capacity")
+                    if rec["retained"] > rec["recorded"]:
+                        errors.append(f"{where}: retained > recorded")
+                continue
+            rtype = check_record(rec, where, spans, errors)
+            if rtype is None:
+                continue
+            records += 1
+            counts[rtype] = counts.get(rtype, 0) + 1
+            t = rec.get("t_ns")
+            if isinstance(t, int) and t >= last_t:
+                last_t = t
+            else:
+                errors.append(
+                    f"{where}: t_ns {t} went backwards (prev {last_t})")
+    if header is None:
+        errors.append(f"{path}: missing flight header line")
+    elif header["retained"] != records:
+        errors.append(f"{path}: header retained={header['retained']} but "
+                      f"{records} record lines follow")
+    trigger = header["trigger"] if header else "?"
+    print(f"{path}: flight dump trigger={trigger} {records} records "
           + " ".join(f"{k}={v}" for k, v in sorted(counts.items())))
     return errors
 
@@ -133,6 +250,7 @@ def main(argv):
     ap.add_argument("trace", help="JSONL trace from --trace-out")
     ap.add_argument("--perfetto", help="trace_event JSON from --perfetto-out")
     ap.add_argument("--series", help="time-series CSV from --series-out")
+    ap.add_argument("--flight", help="flight-recorder dump from --flight-dump")
     args = ap.parse_args(argv[1:])
 
     errors = check_jsonl(args.trace)
@@ -140,6 +258,8 @@ def main(argv):
         errors += check_perfetto(args.perfetto)
     if args.series:
         errors += check_series(args.series)
+    if args.flight:
+        errors += check_flight(args.flight)
     for e in errors:
         print(f"error: {e}", file=sys.stderr)
     return 1 if errors else 0

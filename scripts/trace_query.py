@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Causal-chain query tool for span traces (`--span-trace` JSONL output).
+
+Reconstructs each packet's causal chain from its span records — the root
+`packet` span plus the `route_wait`/`queue`/`backoff`/`retry`/`airtime`
+children that tile it — and reports:
+
+  * a latency-decomposition table: how the end-to-end delay of delivered
+    packets splits across components, with per-component p50/p95 over
+    chains (`--decompose`, the default view);
+  * per-discovery control-byte attribution: each discovery/repair episode
+    joined against the `control_tx`/`control_lost` route records that fall
+    inside its window at the requesting (src, dst), so a route's cost in
+    control bytes is visible next to its latency (`--discoveries`);
+  * one packet's full chain, span by span (`--trace ID` or `--flow F
+    --seq S`).
+
+`--assert-complete` turns the tool into a checker: every delivered packet
+must have a chain whose children are contiguous (no gaps, no overlaps) and
+whose durations sum *exactly* to the root's end-to-end delay, else exit 1.
+CI runs this against the smoke trace; the span derivation is integer
+nanosecond arithmetic end to end, so exactness is the contract, not a
+tolerance.
+
+Stdlib only.  Works on a `--trace-out` stream (spans interleaved with
+packet/route records) and on flight-recorder dumps (`--flight` skips the
+header line and tolerates chains truncated by the ring).
+
+Usage: trace_query.py TRACE.jsonl [--decompose] [--discoveries]
+                      [--trace ID | --flow F --seq S]
+                      [--assert-complete] [--flight]
+"""
+
+import argparse
+import json
+import sys
+
+PACKET_CHILD_KINDS = ("route_wait", "queue", "backoff", "retry", "airtime")
+
+
+def load(path, flight=False):
+    """Returns (roots, children_by_trace, route_records)."""
+    roots = {}
+    children = {}
+    routes = []
+    with open(path, "rb") as fh:
+        for num, raw in enumerate(fh, 1):
+            rec = json.loads(raw)
+            rtype = rec.get("type")
+            if flight and num == 1 and rtype == "flight":
+                continue
+            if rtype == "route":
+                routes.append(rec)
+            elif rtype == "span":
+                if rec["kind"] in ("packet", "discovery", "repair"):
+                    roots[rec["span"]] = rec
+                else:
+                    children.setdefault(rec["trace"], []).append(rec)
+    for sibs in children.values():
+        sibs.sort(key=lambda s: s["start_ns"])
+    return roots, children, routes
+
+
+def chain_errors(root, kids):
+    """Why this chain is not a complete exact decomposition ([] if it is)."""
+    errors = []
+    cursor = root["start_ns"]
+    for kid in kids:
+        if kid["parent"] != root["span"]:
+            errors.append(f"span {kid['span']} parent {kid['parent']} is not "
+                          f"the root")
+        if kid["start_ns"] != cursor:
+            gap = kid["start_ns"] - cursor
+            errors.append(f"span {kid['span']} ({kid['kind']}) starts "
+                          f"{gap} ns after the previous span ends")
+        cursor = kid["start_ns"] + kid["dur_ns"]
+    if cursor != root["t_ns"]:
+        errors.append(f"children end at {cursor} ns, root ends at "
+                      f"{root['t_ns']} ns")
+    if sum(k["dur_ns"] for k in kids) != root["dur_ns"]:
+        errors.append("child durations do not sum to the end-to-end delay")
+    return errors
+
+
+def fmt_ms(ns):
+    return f"{ns / 1e6:.3f}"
+
+
+def percentile(xs, q):
+    if not xs:
+        return 0
+    xs = sorted(xs)
+    rank = max(0, min(len(xs) - 1, int(q / 100.0 * len(xs) + 0.5) - 1))
+    return xs[rank]
+
+
+def print_decomposition(packet_roots, children):
+    delivered = [r for r in packet_roots if r["detail"] == "delivered"]
+    print(f"{len(packet_roots)} packet chains, {len(delivered)} delivered")
+    if not delivered:
+        return
+    totals = {k: 0 for k in PACKET_CHILD_KINDS}
+    per_chain = {k: [] for k in PACKET_CHILD_KINDS}
+    e2e = []
+    for root in delivered:
+        e2e.append(root["dur_ns"])
+        by_kind = {k: 0 for k in PACKET_CHILD_KINDS}
+        for kid in children.get(root["span"], []):
+            by_kind[kid["kind"]] += kid["dur_ns"]
+        for k in PACKET_CHILD_KINDS:
+            totals[k] += by_kind[k]
+            per_chain[k].append(by_kind[k])
+    grand = sum(totals.values())
+    print(f"\nlatency decomposition over {len(delivered)} delivered packets"
+          f" (total {fmt_ms(grand)} ms):")
+    print(f"  {'component':<12} {'total ms':>10} {'share':>7} "
+          f"{'p50 ms':>9} {'p95 ms':>9}")
+    for k in PACKET_CHILD_KINDS:
+        share = 100.0 * totals[k] / grand if grand else 0.0
+        print(f"  {k:<12} {fmt_ms(totals[k]):>10} {share:>6.1f}% "
+              f"{fmt_ms(percentile(per_chain[k], 50)):>9} "
+              f"{fmt_ms(percentile(per_chain[k], 95)):>9}")
+    print(f"  {'end-to-end':<12} {fmt_ms(sum(e2e)):>10} {'100.0%':>7} "
+          f"{fmt_ms(percentile(e2e, 50)):>9} "
+          f"{fmt_ms(percentile(e2e, 95)):>9}")
+
+
+def print_discoveries(roots, routes):
+    episodes = sorted((r for r in roots.values()
+                       if r["kind"] in ("discovery", "repair")),
+                      key=lambda r: r["start_ns"])
+    control = [r for r in routes
+               if r["stage"] in ("control_tx", "control_lost")]
+    print(f"\n{len(episodes)} discovery/repair episodes, "
+          f"{len(control)} control transmissions:")
+    print(f"  {'episode':<22} {'outcome':>11} {'ms':>9} "
+          f"{'ctl msgs':>8} {'ctl bytes':>9}")
+    for ep in episodes:
+        # Attribute every control record for this (src, dst) pair inside
+        # the episode's window; flooding relays share the originator's
+        # (src, dst, bid), so the whole wave lands on its episode.
+        msgs = [c for c in control
+                if c["src"] == ep["src"] and c["dst"] == ep["dst"]
+                and ep["start_ns"] <= c["t_ns"] <= ep["t_ns"]]
+        label = f"{ep['kind']} {ep['src']}->{ep['dst']}"
+        print(f"  {label:<22} {ep['detail']:>11} {fmt_ms(ep['dur_ns']):>9} "
+              f"{len(msgs):>8} {sum(m['bytes'] for m in msgs):>9}")
+
+
+def print_chain(root, kids):
+    print(f"trace {root['span']}: flow {root['flow']} seq {root['seq']} "
+          f"{root['src']}->{root['dst']} [{root['detail']}] "
+          f"e2e {fmt_ms(root['dur_ns'])} ms")
+    for kid in kids:
+        print(f"  +{fmt_ms(kid['start_ns'] - root['start_ns']):>9} ms  "
+              f"{kid['kind']:<12} {fmt_ms(kid['dur_ns']):>9} ms  "
+              f"node {kid['node']:<4} {kid['detail']}")
+    errs = chain_errors(root, kids)
+    print("  chain: complete exact decomposition" if not errs
+          else "  chain: INCOMPLETE\n" + "\n".join(f"    {e}" for e in errs))
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="JSONL trace containing span records")
+    ap.add_argument("--decompose", action="store_true",
+                    help="latency-decomposition table (default view)")
+    ap.add_argument("--discoveries", action="store_true",
+                    help="per-discovery control-byte attribution table")
+    ap.add_argument("--trace-id", type=int, metavar="ID",
+                    help="print one chain by trace id")
+    ap.add_argument("--flow", type=int, help="print one chain by flow ...")
+    ap.add_argument("--seq", type=int, help="... and sequence number")
+    ap.add_argument("--assert-complete", action="store_true",
+                    help="exit 1 unless every delivered packet has a "
+                         "complete exact chain")
+    ap.add_argument("--flight", action="store_true",
+                    help="input is a flight-recorder dump (skip header)")
+    args = ap.parse_args(argv[1:])
+
+    roots, children, routes = load(args.trace, flight=args.flight)
+    packet_roots = [r for r in roots.values() if r["kind"] == "packet"]
+
+    if args.trace_id is not None or args.flow is not None:
+        want = [r for r in packet_roots
+                if r["span"] == args.trace_id
+                or (args.flow is not None and r["flow"] == args.flow
+                    and (args.seq is None or r["seq"] == args.seq))]
+        if not want:
+            print("no matching packet chain", file=sys.stderr)
+            return 1
+        for root in want:
+            print_chain(root, children.get(root["span"], []))
+        return 0
+
+    if args.decompose or not args.discoveries:
+        print_decomposition(packet_roots, children)
+    if args.discoveries:
+        print_discoveries(roots, routes)
+
+    if args.assert_complete:
+        delivered = [r for r in packet_roots if r["detail"] == "delivered"]
+        bad = 0
+        for root in delivered:
+            errs = chain_errors(root, children.get(root["span"], []))
+            if errs:
+                bad += 1
+                print(f"error: trace {root['span']} (flow {root['flow']} "
+                      f"seq {root['seq']}):", file=sys.stderr)
+                for e in errs:
+                    print(f"  {e}", file=sys.stderr)
+        ok = len(delivered) - bad
+        print(f"\nassert-complete: {ok}/{len(delivered)} delivered packets "
+              f"have complete exact causal chains")
+        if bad or not delivered:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

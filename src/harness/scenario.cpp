@@ -10,9 +10,12 @@
 #include "core/rica.hpp"
 #include "mobility/mobility_model.hpp"
 #include "net/network.hpp"
+#include "obs/anomaly.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "routing/abr/abr.hpp"
 #include "routing/aodv/aodv.hpp"
@@ -271,6 +274,11 @@ void validate_scenario(const ScenarioConfig& cfg) {
         " s) must leave a measurement window before sim end (" +
         fmt_m(cfg.sim_s) + " s)");
   }
+  if (!cfg.flight_dump.empty() && cfg.flight_recorder == 0) {
+    throw std::invalid_argument(
+        "flight_dump requires flight_recorder > 0 (nothing records without "
+        "a ring)");
+  }
 }
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg) {
@@ -293,10 +301,54 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   std::unique_ptr<obs::PerfettoWriter> perfetto;
   std::unique_ptr<obs::KernelProbe> probe;
   std::unique_ptr<obs::SeriesSampler> sampler;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  std::unique_ptr<obs::SpanBook> span_book;
+  std::unique_ptr<obs::AnomalyMonitor> watchdog;
   if (!cfg.trace_out.empty()) {
     filter = obs::parse_trace_filter(cfg.trace_filter);
     trace_sink = std::make_unique<obs::JsonlTraceSink>(cfg.trace_out);
     tracer.attach(trace_sink.get(), filter);
+  }
+  if (cfg.flight_recorder > 0) {
+    // The recorder retains every record family — a postmortem window wants
+    // the whole story, not the JSONL sink's filter.
+    recorder = std::make_unique<obs::FlightRecorder>(cfg.flight_recorder);
+    tracer.attach_recorder(recorder.get(), obs::TraceFilter::kAll);
+  }
+  if (recorder != nullptr ||
+      (trace_sink != nullptr && obs::has(filter, obs::TraceFilter::kSpan))) {
+    span_book = std::make_unique<obs::SpanBook>(tracer);
+    tracer.set_span_book(span_book.get());
+  }
+  if (cfg.watchdogs) {
+    obs::AnomalySources sources;
+    sources.dropped_total = [&network] {
+      return network.metrics().dropped_total();
+    };
+    sources.discovery_failures = [&network] {
+      return network.metrics().discovery_failures();
+    };
+    sources.buffered_packets = [&network] {
+      return static_cast<std::uint64_t>(network.buffered_packets());
+    };
+    sources.stalled_flows = [&network](sim::Time cutoff) {
+      // A flow is stalled when it holds in-flight packets but has not
+      // delivered since `cutoff`; flows that never delivered count from
+      // the epoch start.
+      std::uint64_t stalled = 0;
+      const sim::Time epoch = network.metrics().epoch_start();
+      for (const auto& [id, f] : network.metrics().flow_stats()) {
+        if (f.generated <= f.delivered + f.dropped) continue;
+        const sim::Time last =
+            f.last_delivery > epoch ? f.last_delivery : epoch;
+        if (last < cutoff) ++stalled;
+      }
+      return stalled;
+    };
+    watchdog = std::make_unique<obs::AnomalyMonitor>(
+        cfg.anomaly, std::move(sources), network.registry());
+    watchdog->set_recorder(recorder.get(), cfg.flight_dump);
+    watchdog->start(network.simulator(), sim::seconds_f(cfg.sim_s));
   }
   if (!cfg.perfetto_out.empty()) {
     perfetto = std::make_unique<obs::PerfettoWriter>(cfg.perfetto_out);
@@ -350,6 +402,13 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   network.start();
   generator->start();
   network.simulator().run_until(sim::seconds_f(cfg.sim_s));
+  // Flush still-open spans (detail "in_flight") before any dump so the
+  // flight recorder's ring — and a trailing exit dump — carry them.
+  if (span_book != nullptr) span_book->finish(sim::seconds_f(cfg.sim_s));
+  if (recorder != nullptr && !cfg.flight_dump.empty() &&
+      (watchdog == nullptr || !watchdog->dumped())) {
+    recorder->dump(cfg.flight_dump, "exit", sim::seconds_f(cfg.sim_s));
+  }
   auto summary = network.metrics().finalize(sim::seconds_f(cfg.sim_s));
 
   // Every scalar statistic flows through the registry snapshot: one
@@ -358,6 +417,11 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   // for existing callers (the golden suite pins them against the hashes).
   for (auto& s : network.registry().snapshot()) {
     summary.stats.emplace(s.name, std::move(s));
+  }
+  // Registered distributions (e.g. the sharded kernel's staged-per-window
+  // histogram) join the collector's always-on ones in the summary.
+  for (const auto& [name, h] : network.registry().histogram_snapshot()) {
+    summary.histograms.insert_or_assign(name, h);
   }
   const auto stat = [&summary](const char* name) {
     const auto it = summary.stats.find(name);
@@ -380,6 +444,8 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   // Detach before the sinks (declared after the network) are destroyed, so
   // nothing emitted during teardown can reach a dead sink.
   tracer.attach(nullptr, obs::TraceFilter::kNone);
+  tracer.attach_recorder(nullptr, obs::TraceFilter::kNone);
+  tracer.set_span_book(nullptr);
   tracer.set_perfetto(nullptr);
   network.simulator().set_kernel_observer(nullptr, sim::Time::zero());
   return summary;
@@ -420,6 +486,13 @@ ScenarioResult average(const std::vector<ScenarioResult>& runs) {
     // the max — so a newly registered statistic aggregates correctly with
     // no edit here.
     obs::fold_samples(avg.stats, r.stats);
+    // Histograms pool exactly: merge() is an element-wise count add,
+    // associative and order-independent, so the aggregate distribution is
+    // the distribution of the pooled samples.
+    for (const auto& [name, h] : r.histograms) {
+      auto [it, inserted] = avg.histograms.try_emplace(name, h);
+      if (!inserted) it->second.merge(h);
+    }
     // Trial hashes fold in trial order: the aggregate is itself a golden
     // fingerprint of the whole multi-trial cell.
     avg.stream_hash = stats::fnv1a(avg.stream_hash == 0
@@ -455,6 +528,18 @@ ScenarioResult average(const std::vector<ScenarioResult>& runs) {
   }
   avg.flow_summaries.reserve(merged.size());
   for (const auto& [id, fs] : merged) avg.flow_summaries.push_back(fs);
+  // Exact pooled run-level percentiles: re-read from the merged delay
+  // histogram, replacing the mean-of-per-trial-percentiles accumulated
+  // above (kept as the fallback for hand-built summaries that carry no
+  // histograms).  A mean of percentiles is not a percentile of the pool —
+  // one slow trial's p95 should shift the pooled p95 by its sample share,
+  // not by 1/n of its value.
+  const auto pooled = avg.histograms.find("delay_ns");
+  if (pooled != avg.histograms.end() && pooled->second.count() > 0) {
+    avg.delay_p50_ms = pooled->second.percentile(50.0) / 1e6;
+    avg.delay_p95_ms = pooled->second.percentile(95.0) / 1e6;
+    avg.delay_p99_ms = pooled->second.percentile(99.0) / 1e6;
+  }
   return avg;
 }
 

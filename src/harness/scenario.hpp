@@ -12,6 +12,7 @@
 
 #include "core/rica.hpp"
 #include "mobility/mobility_model.hpp"
+#include "obs/anomaly.hpp"
 #include "sim/simulator.hpp"
 #include "stats/metrics.hpp"
 
@@ -74,10 +75,23 @@ struct ScenarioConfig {
   // with sampling enabled does execute extra sampler events, moving
   // events_executed; the stream hash never sees them.)
   std::string trace_out;    ///< JSONL structured-trace path ("" = off)
-  std::string trace_filter = "all";  ///< packet|route|kernel|all comma list
+  std::string trace_filter = "all";  ///< packet|route|kernel|span|all list
   std::string perfetto_out;  ///< Chrome trace_event JSON path ("" = off)
   std::string series_out;    ///< time-series CSV path ("" = off)
   double sample_dt_s = 0.0;  ///< series sampling period; 0 = 1 s default
+  /// Always-on flight recorder: ring capacity in records, 0 = off.  The
+  /// recorder sees every record family (spans included) and costs a struct
+  /// copy per record — cheap enough to leave on in long runs.
+  std::size_t flight_recorder = 0;
+  /// Flight-recorder dump path.  Written by the first anomaly trigger when
+  /// watchdogs are on, otherwise once at run end (trigger "exit").
+  /// Requires flight_recorder > 0.
+  std::string flight_dump;
+  /// Arms the anomaly watchdogs (see obs::AnomalyConfig); trigger counters
+  /// land in the registry under "anomaly.*" whether or not a flight
+  /// recorder is attached.
+  bool watchdogs = false;
+  obs::AnomalyConfig anomaly{};
 };
 
 /// A named workload preset: the paper's baseline plus the larger/denser

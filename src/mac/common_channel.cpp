@@ -36,8 +36,12 @@ void CommonChannelMac::trace_control(std::string_view stage, net::NodeId node,
   auto& tracer = metrics_.tracer();
   if (!tracer.route_on()) return;
   const auto info = obs::control_info(pkt.payload);
+  // size_bytes is the frame's exact encoded size (asserted in send()), so
+  // control_tx records carry byte-exact on-air cost — trace_query.py joins
+  // them on (src, dst, bid) to attribute control bytes per discovery.
   tracer.route(obs::RouteTrace{stage, sim_.now(), node, info.src, info.dst,
-                               info.bid, 0.0, {}, info.name});
+                               info.bid, 0.0, {}, info.name,
+                               pkt.size_bytes});
 }
 
 void CommonChannelMac::register_node(net::NodeId id, RxHandler handler) {

@@ -59,6 +59,7 @@ void LinkTransmitter::enqueue(net::DataPacket pkt, net::NodeId next_hop) {
   }
   trace_pkt("enqueued", pkt, next_hop);
   link.q.emplace_back(Queued{std::move(pkt), sim_.now()});
+  metrics_.observe_queue_depth(link.q.size());
   pump(next_hop);
 }
 
@@ -121,6 +122,9 @@ void LinkTransmitter::tx_attempt(net::NodeId neighbor) {
   const sim::Time ack_time = sim::seconds_f(cfg_.ack_bytes * 8.0 / rate);
   const auto csi = sample->csi;
   data_header_bits_ += net::wire::kDataHeaderBytes * 8u;
+  // Every attempt's airtime, including attempts the receiver walks away
+  // from mid-packet — wasted airtime belongs in the distribution.
+  metrics_.observe_airtime(data_time);
 
   trace_pkt("tx_start", pkt, neighbor);
   if (auto* writer = metrics_.tracer().perfetto()) {

@@ -100,13 +100,19 @@ void Node::count(const std::string& name, std::uint64_t by) {
 }
 
 void Node::trace_route(std::string_view stage, NodeId src, NodeId dst,
-                       std::uint32_t bid, double metric) {
+                       std::uint32_t bid, double metric,
+                       std::string_view detail) {
+  // Central discovery-failure tally: every protocol's failure record
+  // funnels through here, so the discovery-storm watchdog needs no
+  // per-protocol counter.  Counted before the trace gate — the watchdog
+  // works with tracing off.
+  if (stage == "discovery_failed") metrics_.count_discovery_failure();
   auto& tracer = metrics_.tracer();
   if (!tracer.route_on()) return;
   tracer.route(obs::RouteTrace{stage, sim_.now(), id_, src, dst, bid, metric,
                                protocol_ ? protocol_->name()
                                          : std::string_view{},
-                               {}});
+                               detail});
 }
 
 }  // namespace rica::net

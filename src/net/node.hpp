@@ -85,7 +85,8 @@ class Node final : public routing::ProtocolHost {
   [[nodiscard]] std::size_t buffered_count() const override;
   void count(const std::string& name, std::uint64_t by = 1) override;
   void trace_route(std::string_view stage, NodeId src, NodeId dst,
-                   std::uint32_t bid = 0, double metric = 0.0) override;
+                   std::uint32_t bid = 0, double metric = 0.0,
+                   std::string_view detail = {}) override;
 
  private:
   /// Packet-lifecycle trace emission (no-op with no sink attached).

@@ -1,0 +1,83 @@
+#include "obs/anomaly.hpp"
+
+#include <cmath>
+
+#include "obs/flight_recorder.hpp"
+
+namespace rica::obs {
+
+AnomalyMonitor::AnomalyMonitor(const AnomalyConfig& cfg,
+                               AnomalySources sources, Registry& registry)
+    : cfg_(cfg),
+      sources_(std::move(sources)),
+      drop_spike_(registry.counter("anomaly.drop_spike")),
+      discovery_storm_(registry.counter("anomaly.discovery_storm")),
+      stalled_flows_(registry.counter("anomaly.stalled_flows")),
+      queue_backlog_(registry.counter("anomaly.queue_backlog")),
+      dumps_(registry.counter("anomaly.dumps")) {}
+
+void AnomalyMonitor::start(sim::Simulator& sim, sim::Time end) {
+  window_ = sim::seconds_f(cfg_.window_s > 0.0 ? cfg_.window_s : 1.0);
+  end_ = end;
+  arm(sim);
+}
+
+void AnomalyMonitor::arm(sim::Simulator& sim) {
+  if (sim.now() + window_ > end_) return;
+  sim.after(window_, [this, &sim] {
+    tick(sim);
+    arm(sim);
+  });
+}
+
+void AnomalyMonitor::fire(std::string_view monitor, Counter& counter,
+                          sim::Time now) {
+  counter.add(1);
+  ++triggers_;
+  if (dumped_ || recorder_ == nullptr || dump_path_.empty()) return;
+  // First violation only: the onset window is what a postmortem wants, and
+  // a single artifact per run keeps reruns byte-comparable.
+  recorder_->dump(dump_path_, monitor, now);
+  dumps_.add(1);
+  dumped_ = true;
+}
+
+void AnomalyMonitor::tick(sim::Simulator& sim) {
+  const sim::Time now = sim.now();
+  if (sources_.dropped_total) {
+    const std::uint64_t total = sources_.dropped_total();
+    // total < last means the collector opened a fresh measurement epoch
+    // (warmup reset); the whole new total is this window's delta.
+    const std::uint64_t in_window =
+        total >= last_drops_ ? total - last_drops_ : total;
+    last_drops_ = total;
+    const auto threshold = static_cast<std::uint64_t>(
+        std::ceil(cfg_.drop_rate_per_s * cfg_.window_s));
+    if (cfg_.drop_rate_per_s > 0.0 && threshold > 0 &&
+        in_window >= threshold) {
+      fire("drop_spike", drop_spike_, now);
+    }
+  }
+  if (sources_.discovery_failures) {
+    const std::uint64_t total = sources_.discovery_failures();
+    const std::uint64_t in_window = total >= last_discovery_failures_
+                                        ? total - last_discovery_failures_
+                                        : total;
+    last_discovery_failures_ = total;
+    if (cfg_.discovery_failures > 0 && in_window >= cfg_.discovery_failures) {
+      fire("discovery_storm", discovery_storm_, now);
+    }
+  }
+  if (sources_.stalled_flows && cfg_.stall_s > 0.0) {
+    const sim::Time bound = sim::seconds_f(cfg_.stall_s);
+    if (now >= bound && sources_.stalled_flows(now - bound) > 0) {
+      fire("stalled_flows", stalled_flows_, now);
+    }
+  }
+  if (sources_.buffered_packets && cfg_.queue_backlog > 0 &&
+      sources_.buffered_packets() >= cfg_.queue_backlog) {
+    fire("queue_backlog", queue_backlog_, now);
+  }
+}
+
+}  // namespace rica::obs

@@ -1,0 +1,36 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rica::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::dump(const std::string& path, std::string_view trigger,
+                          sim::Time now) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot open flight-recorder dump file: " + path);
+  }
+  std::fprintf(f,
+               "{\"type\":\"flight\",\"t_ns\":%" PRId64
+               ",\"capacity\":%zu,\"recorded\":%" PRIu64
+               ",\"retained\":%zu,\"trigger\":\"%.*s\"}\n",
+               now.nanos(), capacity_, recorded_, ring_.size(),
+               static_cast<int>(trigger.size()), trigger.data());
+  const auto write = [f](const auto& rec) { jsonl_write(f, rec); };
+  // Oldest → newest: once wrapped, the oldest record sits at head_.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const std::size_t idx =
+        ring_.size() < capacity_ ? i : (head_ + i) % capacity_;
+    std::visit(write, ring_[idx]);
+  }
+  std::fclose(f);
+}
+
+}  // namespace rica::obs

@@ -1,0 +1,77 @@
+// Always-on flight recorder: a fixed-capacity ring buffer of trace records.
+//
+// The JSONL sink costs a formatted write per record; the flight recorder
+// costs a struct copy into a preallocated ring, cheap enough to leave on in
+// long runs (`--flight-recorder[=N]`).  Every string_view reaching a trace
+// record points at static storage (stage/kind literals, drop-reason and
+// control-message names, protocol name() literals), so records are stored
+// by value with no interning and stay valid for the run's lifetime.
+//
+// When something goes wrong — an anomaly watchdog fires, or the run ends —
+// dump() replays the retained window oldest→newest through the shared
+// fixed-key-order JSONL formatters, preceded by one header line:
+//
+//   {"type":"flight","t_ns":...,"capacity":...,"recorded":...,
+//    "retained":...,"trigger":"exit"|"drop_spike"|...}
+//
+// Records, ring contents, and therefore dump bytes are a pure function of
+// the deterministic trace stream: run == rerun, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace rica::obs {
+
+class FlightRecorder final : public TraceSink {
+ public:
+  /// Default ring capacity (records), roughly a few MB resident.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  void on_packet(const PacketTrace& rec) override { push(rec); }
+  void on_route(const RouteTrace& rec) override { push(rec); }
+  void on_kernel(const KernelTrace& rec) override { push(rec); }
+  void on_span(const SpanTrace& rec) override { push(rec); }
+
+  /// Writes the header line plus the retained records (oldest first) to
+  /// `path`, stamping `trigger` and the dump's sim time `now`.  Throws
+  /// std::runtime_error when the file cannot be opened.  The ring is left
+  /// intact (a later trigger can dump again).
+  void dump(const std::string& path, std::string_view trigger,
+            sim::Time now) const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Records currently retained (== min(recorded, capacity)).
+  [[nodiscard]] std::size_t retained() const { return ring_.size(); }
+  /// Records ever pushed (overwritten ones included).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+
+ private:
+  using Record =
+      std::variant<PacketTrace, RouteTrace, KernelTrace, SpanTrace>;
+
+  void push(Record rec) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(rec));
+    } else {
+      ring_[head_] = std::move(rec);
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++recorded_;
+  }
+
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< oldest record once the ring wrapped
+  std::uint64_t recorded_ = 0;
+  std::vector<Record> ring_;
+};
+
+}  // namespace rica::obs

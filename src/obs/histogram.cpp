@@ -1,0 +1,46 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rica::obs {
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (counts_.size() < other.counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::percentile(double q) const {
+  if (total_ == 0) return 0.0;
+  const double want = std::ceil(q / 100.0 * static_cast<double>(total_));
+  const auto rank = static_cast<std::uint64_t>(
+      std::clamp(want, 1.0, static_cast<double>(total_)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= rank) {
+      return static_cast<double>(bucket_upper(static_cast<std::int64_t>(i)));
+    }
+  }
+  return static_cast<double>(
+      bucket_upper(static_cast<std::int64_t>(counts_.size()) - 1));
+}
+
+bool operator==(const LogHistogram& a, const LogHistogram& b) {
+  if (a.total_ != b.total_ || a.sum_ != b.sum_) return false;
+  const std::size_t n = std::max(a.counts_.size(), b.counts_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t ca = i < a.counts_.size() ? a.counts_[i] : 0;
+    const std::uint64_t cb = i < b.counts_.size() ? b.counts_[i] : 0;
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace rica::obs

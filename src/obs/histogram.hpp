@@ -1,0 +1,108 @@
+// Log-bucketed histogram: bounded-memory latency/occupancy distributions.
+//
+// HDR-style layout: values below 64 get exact unit-width buckets; above
+// that, each power-of-two range splits into 32 linear sub-buckets, so the
+// relative quantization error is bounded by 1/32 (~3.1%) at any magnitude.
+// A 1000 s delay in nanoseconds still lands under ~1200 buckets total, and
+// the count vector grows lazily to the highest bucket touched — a per-flow
+// histogram costs a few KB where the raw sample vector was unbounded.
+//
+// Determinism contract: recording is integer arithmetic only; merge() is an
+// element-wise count add plus an integer sum add, so it is exact,
+// order-independent, and associative — cross-trial pooling in
+// harness::average() produces the same percentiles no matter how trials are
+// grouped.  percentile() reports the *upper edge* of the selected bucket
+// (the conservative bound: the true nearest-rank sample is <= the reported
+// value, never above it); representative(v) exposes that mapping so tests
+// can assert reported percentiles exactly.
+//
+// This header is dependency-free (no sim/net/stats includes) so any layer —
+// including the kernel — can own one without a cycle.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace rica::obs {
+
+class LogHistogram {
+ public:
+  /// Sub-bucket resolution: 2^5 linear slots per power-of-two range.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr std::int64_t kSubBuckets = std::int64_t{1}
+                                              << kSubBucketBits;
+  /// Values below this are exact (unit-width buckets, index == value).
+  static constexpr std::int64_t kLinearMax = kSubBuckets * 2;
+
+  /// Records `count` occurrences of `value` (negatives clamp to 0).
+  void record(std::int64_t value, std::uint64_t count = 1) {
+    const std::size_t idx = static_cast<std::size_t>(bucket_index(value));
+    if (counts_.size() <= idx) counts_.resize(idx + 1, 0);
+    counts_[idx] += count;
+    total_ += count;
+    sum_ += (value < 0 ? 0 : value) * static_cast<std::int64_t>(count);
+  }
+
+  /// Element-wise count add: exact, commutative, associative.
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  /// Exact sum of the raw recorded values (not bucket representatives).
+  [[nodiscard]] std::int64_t sum() const { return sum_; }
+  /// Exact mean of the raw recorded values; 0 when empty.
+  [[nodiscard]] double mean() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(total_);
+  }
+
+  /// Nearest-rank percentile (q in [0, 100]) as the selected bucket's upper
+  /// edge; 0 when empty.
+  [[nodiscard]] double percentile(double q) const;
+
+  void clear() {
+    counts_.clear();
+    total_ = 0;
+    sum_ = 0;
+  }
+
+  /// The bucket `value` records into (negatives clamp to bucket 0).
+  [[nodiscard]] static std::int64_t bucket_index(std::int64_t value) {
+    if (value < kLinearMax) return value < 0 ? 0 : value;
+    const int top = std::bit_width(static_cast<std::uint64_t>(value)) - 1;
+    const std::int64_t offset =
+        (value - (std::int64_t{1} << top)) >> (top - kSubBucketBits);
+    return kLinearMax +
+           static_cast<std::int64_t>(top - (kSubBucketBits + 1)) *
+               kSubBuckets +
+           offset;
+  }
+
+  /// Largest value bucket `index` holds (the value percentile() reports).
+  [[nodiscard]] static std::int64_t bucket_upper(std::int64_t index) {
+    if (index < kLinearMax) return index;
+    const std::int64_t rel = index - kLinearMax;
+    const int top = static_cast<int>(rel / kSubBuckets) + kSubBucketBits + 1;
+    const std::int64_t offset = rel % kSubBuckets;
+    const std::int64_t width = std::int64_t{1} << (top - kSubBucketBits);
+    return (std::int64_t{1} << top) + (offset + 1) * width - 1;
+  }
+
+  /// The value a sample recorded as `value` is reported back as by
+  /// percentile() — lets tests pin expected output exactly.
+  [[nodiscard]] static std::int64_t representative(std::int64_t value) {
+    return bucket_upper(bucket_index(value));
+  }
+
+  /// Equal when the recorded distributions match (trailing empty buckets
+  /// are ignored, so `a.merge(empty)` never breaks equality).
+  friend bool operator==(const LogHistogram& a, const LogHistogram& b);
+
+ private:
+  std::vector<std::uint64_t> counts_;  ///< grown lazily to the top bucket
+  std::uint64_t total_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+}  // namespace rica::obs

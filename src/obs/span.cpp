@@ -1,0 +1,233 @@
+#include "obs/span.hpp"
+
+namespace rica::obs {
+
+namespace {
+
+/// Stage names arrive as string_views over static literals; comparisons are
+/// a length check plus a short memcmp.
+constexpr std::string_view kGenerated = "generated";
+constexpr std::string_view kEnqueued = "enqueued";
+constexpr std::string_view kTxStart = "tx_start";
+constexpr std::string_view kTxEnd = "tx_end";
+constexpr std::string_view kTxFail = "tx_fail";
+constexpr std::string_view kDelivered = "delivered";
+constexpr std::string_view kDropped = "dropped";
+
+}  // namespace
+
+void SpanBook::emit(std::string_view kind, const PacketState& st,
+                    sim::Time start, sim::Time end, std::string_view detail) {
+  SpanTrace rec;
+  rec.kind = kind;
+  rec.at = end;
+  rec.span = next_id_++;
+  rec.parent = st.root;
+  rec.trace = st.root;
+  rec.flow = st.flow;
+  rec.seq = st.seq;
+  rec.node = st.node;
+  rec.src = st.src;
+  rec.dst = st.dst;
+  rec.start = start;
+  rec.dur = end - start;
+  rec.detail = detail;
+  ++emitted_;
+  tracer_.span(rec);
+}
+
+void SpanBook::emit_root(const PacketState& st, sim::Time end,
+                         std::string_view detail) {
+  SpanTrace rec;
+  rec.kind = "packet";
+  rec.at = end;
+  rec.span = st.root;
+  rec.parent = 0;
+  rec.trace = st.root;
+  rec.flow = st.flow;
+  rec.seq = st.seq;
+  rec.node = st.node;
+  rec.src = st.src;
+  rec.dst = st.dst;
+  rec.start = st.root_start;
+  rec.dur = end - st.root_start;
+  rec.detail = detail;
+  ++emitted_;
+  tracer_.span(rec);
+}
+
+void SpanBook::close_phase(PacketState& st, sim::Time at,
+                           std::string_view cause, bool air_failed) {
+  const sim::Time start = st.phase_start;
+  if (at == start) return;  // zero-length: skipping keeps the sum exact
+  switch (st.phase) {
+    case Phase::kHold: {
+      // What was the protocol deciding during this hold?  An episode open
+      // now — or one that *closed* inside the hold window (established
+      // routes flush their pending packets after the episode record) —
+      // names the wait; otherwise it was a plain forwarding decision.
+      const std::uint64_t key = episode_key(st.node, st.dst);
+      std::string_view detail = "hold";
+      const auto de = discovery_end_.find(key);
+      const auto re = repair_end_.find(key);
+      if (discoveries_.count(key) != 0 ||
+          (de != discovery_end_.end() && de->second >= start)) {
+        detail = "discovery";
+      } else if (repairs_.count(key) != 0 ||
+                 (re != repair_end_.end() && re->second >= start)) {
+        detail = "repair";
+      }
+      emit("route_wait", st, start, at, detail);
+      break;
+    }
+    case Phase::kQueue:
+      emit("queue", st, start, at, cause);
+      break;
+    case Phase::kBackoff:
+      emit("backoff", st, start, at, cause);
+      break;
+    case Phase::kAir:
+      // A completed transmission is airtime; an interrupted one spent the
+      // air but bought no progress, so it lands in the retry component.
+      emit(air_failed ? "retry" : "airtime", st, start, at, cause);
+      break;
+  }
+}
+
+void SpanBook::on_packet(const PacketTrace& rec) {
+  const std::uint64_t key = packet_key(rec.flow, rec.seq);
+  if (rec.stage == kGenerated) {
+    PacketState st;
+    st.root = next_id_++;
+    st.root_start = rec.at;
+    st.phase = Phase::kHold;
+    st.phase_start = rec.at;
+    st.flow = rec.flow;
+    st.seq = rec.seq;
+    st.node = rec.node;
+    st.src = rec.src;
+    st.dst = rec.dst;
+    packets_[key] = st;
+    return;
+  }
+  const auto it = packets_.find(key);
+  if (it == packets_.end()) return;  // book attached mid-flight
+  PacketState& st = it->second;
+  if (rec.stage == kEnqueued) {
+    close_phase(st, rec.at, st.phase == Phase::kHold ? std::string_view{}
+                                                     : "reroute");
+    open_phase(st, Phase::kQueue, rec.at, rec.node);
+  } else if (rec.stage == kTxStart) {
+    close_phase(st, rec.at, {});
+    open_phase(st, Phase::kAir, rec.at, rec.node);
+  } else if (rec.stage == kTxEnd) {
+    close_phase(st, rec.at, {});
+    // The packet now sits at the receiver awaiting its routing decision.
+    open_phase(st, Phase::kHold, rec.at, static_cast<std::uint32_t>(rec.peer));
+  } else if (rec.stage == kTxFail) {
+    close_phase(st, rec.at, rec.detail, /*air_failed=*/true);
+    open_phase(st, Phase::kBackoff, rec.at, rec.node);
+  } else if (rec.stage == kDelivered) {
+    close_phase(st, rec.at, {});
+    st.node = rec.node;
+    emit_root(st, rec.at, "delivered");
+    packets_.erase(it);
+  } else if (rec.stage == kDropped) {
+    close_phase(st, rec.at, {});
+    st.node = rec.node;
+    emit_root(st, rec.at, rec.detail);
+    packets_.erase(it);
+  } else {
+    // forwarded: the receiver took ownership; the hold phase carries on.
+    st.node = rec.node;
+  }
+}
+
+void SpanBook::close_episode(std::map<std::uint64_t, Episode>& book,
+                             std::string_view kind, std::uint64_t key,
+                             std::uint32_t node, sim::Time at,
+                             std::string_view detail) {
+  const auto it = book.find(key);
+  if (it == book.end()) return;  // e.g. RICA's switch-over "repaired"
+  const Episode ep = it->second;
+  book.erase(it);
+  (&book == &discoveries_ ? discovery_end_ : repair_end_)[key] = at;
+  SpanTrace rec;
+  rec.kind = kind;
+  rec.at = at;
+  rec.span = ep.span;
+  rec.parent = 0;
+  rec.trace = ep.span;
+  rec.node = node;
+  rec.src = ep.src;
+  rec.dst = ep.dst;
+  rec.start = ep.start;
+  rec.dur = at - ep.start;
+  rec.detail = detail;
+  ++emitted_;
+  tracer_.span(rec);
+}
+
+void SpanBook::on_route(const RouteTrace& rec) {
+  const std::uint64_t key = episode_key(rec.node, rec.dst);
+  if (rec.stage == "discovery_start") {
+    // Retries ride inside the original episode; only the first start opens.
+    const auto [it, inserted] = discoveries_.try_emplace(key);
+    if (!inserted) return;
+    it->second = Episode{next_id_++, rec.at, rec.src, rec.dst};
+  } else if (rec.stage == "established") {
+    close_episode(discoveries_, "discovery", key, rec.node, rec.at,
+                  "established");
+  } else if (rec.stage == "discovery_failed") {
+    close_episode(discoveries_, "discovery", key, rec.node, rec.at, "failed");
+  } else if (rec.stage == "repair_start") {
+    const auto [it, inserted] = repairs_.try_emplace(key);
+    if (!inserted) return;
+    it->second = Episode{next_id_++, rec.at, rec.src, rec.dst};
+  } else if (rec.stage == "repaired") {
+    close_episode(repairs_, "repair", key, rec.node, rec.at, "repaired");
+  }
+}
+
+void SpanBook::finish(sim::Time now) {
+  for (auto& [key, st] : packets_) {
+    (void)key;
+    close_phase(st, now, {});
+    emit_root(st, now, "in_flight");
+  }
+  packets_.clear();
+  for (const auto& [key, ep] : discoveries_) {
+    SpanTrace rec;
+    rec.kind = "discovery";
+    rec.at = now;
+    rec.span = ep.span;
+    rec.trace = ep.span;
+    rec.node = static_cast<std::uint32_t>(key >> 32);
+    rec.src = ep.src;
+    rec.dst = ep.dst;
+    rec.start = ep.start;
+    rec.dur = now - ep.start;
+    rec.detail = "in_flight";
+    ++emitted_;
+    tracer_.span(rec);
+  }
+  discoveries_.clear();
+  for (const auto& [key, ep] : repairs_) {
+    SpanTrace rec;
+    rec.kind = "repair";
+    rec.at = now;
+    rec.span = ep.span;
+    rec.trace = ep.span;
+    rec.node = static_cast<std::uint32_t>(key >> 32);
+    rec.src = ep.src;
+    rec.dst = ep.dst;
+    rec.start = ep.start;
+    rec.dur = now - ep.start;
+    rec.detail = "in_flight";
+    ++emitted_;
+    tracer_.span(rec);
+  }
+  repairs_.clear();
+}
+
+}  // namespace rica::obs

@@ -74,15 +74,17 @@ class ProtocolHost {
   /// hosts and trace-disabled runs pay nothing; Node forwards to the
   /// metrics collector's tracer, stamping node id, protocol name, and the
   /// current sim time.  `metric` is stage-dependent (CSI distance, hop
-  /// count, stability score).
+  /// count, stability score); `detail` is free-form context (failure cause,
+  /// selected relay) landing in the record's `msg` field.
   virtual void trace_route(std::string_view stage, net::NodeId src,
                            net::NodeId dst, std::uint32_t bid = 0,
-                           double metric = 0.0) {
+                           double metric = 0.0, std::string_view detail = {}) {
     (void)stage;
     (void)src;
     (void)dst;
     (void)bid;
     (void)metric;
+    (void)detail;
   }
 };
 

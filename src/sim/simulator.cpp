@@ -145,7 +145,13 @@ void Simulator::run_windows(Time end, bool bound_clock) {
     const Time horizon =
         end - tmin > window_ ? tmin + window_ : end;
     ++windows_;
-    stage_all(horizon);
+    if (window_hook_) {
+      const std::uint64_t before = staged_events();
+      stage_all(horizon);
+      window_hook_(staged_events() - before);
+    } else {
+      stage_all(horizon);
+    }
     // Serial commit: fire across shards in exact global (at, seq) order.
     // Events a commit schedules inside the horizon — including cross-shard
     // sends — join the scan immediately, so the order matches the serial

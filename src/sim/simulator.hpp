@@ -244,6 +244,14 @@ class Simulator {
     next_observation_ = Time::zero();
   }
 
+  /// Per-window staging telemetry: called after each conservative window's
+  /// staging phase with the number of events that phase pre-sorted.  A
+  /// plain callback (like KernelObserver, the kernel stays free of any
+  /// observability dependency); never fires on the serial engine.  The
+  /// hook runs between windows — it must not schedule or cancel events.
+  using WindowHook = std::function<void(std::uint64_t staged_delta)>;
+  void set_window_hook(WindowHook hook) { window_hook_ = std::move(hook); }
+
  private:
   friend class ShardScope;
 
@@ -310,6 +318,7 @@ class Simulator {
   std::vector<std::uint64_t> channel_counts_;
   std::vector<std::size_t> shard_pending_scratch_;
   ChannelHook channel_hook_;
+  WindowHook window_hook_;
 
   KernelObserver* observer_ = nullptr;
   Time observer_interval_ = Time::zero();

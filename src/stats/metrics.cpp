@@ -53,7 +53,9 @@ void MetricsCollector::on_delivered(const net::DataPacket& pkt,
   f.delay_sum_ms += (now - pkt.gen_time).millis();
   f.bits_delivered += pkt.size_bytes * 8.0;
   f.last_delivery = now;
-  f.delays_ms.push_back((now - pkt.gen_time).millis());
+  const std::int64_t delay_ns = (now - pkt.gen_time).nanos();
+  f.delays.record(delay_ns);
+  delay_ns_.record(delay_ns);
   fold(2);
   fold((static_cast<std::uint64_t>(pkt.flow) << 32) | pkt.seq);
   fold(static_cast<std::uint64_t>(now.nanos()));
@@ -99,6 +101,10 @@ void MetricsCollector::reset_epoch(sim::Time now) {
   series_.clear();
   counters_.clear();
   flows_.clear();
+  delay_ns_ = obs::LogHistogram{};
+  queue_depth_ = obs::LogHistogram{};
+  airtime_ns_ = obs::LogHistogram{};
+  discovery_failures_ = 0;
   stream_hash_ = kFnvOffsetBasis;
   epoch_start_ = now;
 }
@@ -138,13 +144,9 @@ MetricsSummary MetricsCollector::finalize(sim::Time sim_duration) const {
   s.measure_start = epoch_start_;
 
   // Workload-axis metrics: per-flow table (map iteration is ascending flow
-  // id), fairness over per-flow delivered throughput, pooled percentiles.
-  // Each sample vector is copied and sorted exactly once; the three
-  // percentiles are index lookups into that one sorted copy.
-  std::vector<double> pooled_delays;
+  // id), fairness over per-flow delivered throughput, percentiles read
+  // from the log-bucketed delay histograms (nanoseconds -> milliseconds).
   std::vector<double> flow_tputs;
-  std::vector<double> sorted;
-  pooled_delays.reserve(delivered_);
   s.flow_summaries.reserve(flows_.size());
   flow_tputs.reserve(flows_.size());
   for (const auto& [flow_id, f] : flows_) {
@@ -154,21 +156,19 @@ MetricsSummary MetricsCollector::finalize(sim::Time sim_duration) const {
     fs.delivered = f.delivered;
     fs.dropped = f.dropped;
     fs.tput_kbps = secs <= 0.0 ? 0.0 : f.bits_delivered / secs / 1e3;
-    sorted = f.delays_ms;
-    std::sort(sorted.begin(), sorted.end());
-    fs.delay_p50_ms = sorted_percentile(sorted, 50.0);
-    fs.delay_p95_ms = sorted_percentile(sorted, 95.0);
-    fs.delay_p99_ms = sorted_percentile(sorted, 99.0);
+    fs.delay_p50_ms = f.delays.percentile(50.0) / 1e6;
+    fs.delay_p95_ms = f.delays.percentile(95.0) / 1e6;
+    fs.delay_p99_ms = f.delays.percentile(99.0) / 1e6;
     flow_tputs.push_back(fs.tput_kbps);
-    pooled_delays.insert(pooled_delays.end(), f.delays_ms.begin(),
-                         f.delays_ms.end());
     s.flow_summaries.push_back(fs);
   }
   s.jain_fairness = jain_index(flow_tputs);
-  std::sort(pooled_delays.begin(), pooled_delays.end());
-  s.delay_p50_ms = sorted_percentile(pooled_delays, 50.0);
-  s.delay_p95_ms = sorted_percentile(pooled_delays, 95.0);
-  s.delay_p99_ms = sorted_percentile(pooled_delays, 99.0);
+  s.delay_p50_ms = delay_ns_.percentile(50.0) / 1e6;
+  s.delay_p95_ms = delay_ns_.percentile(95.0) / 1e6;
+  s.delay_p99_ms = delay_ns_.percentile(99.0) / 1e6;
+  s.histograms.emplace("delay_ns", delay_ns_);
+  s.histograms.emplace("queue_depth", queue_depth_);
+  s.histograms.emplace("airtime_ns", airtime_ns_);
   return s;
 }
 

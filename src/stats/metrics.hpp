@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "obs/histogram.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sim/time.hpp"
@@ -61,7 +63,8 @@ class ThroughputSeries {
 
 /// Per-flow slice of a run's results (keyed by the traffic generator's flow
 /// id): conservation counts plus the flow's delivered throughput and delay
-/// percentiles.  `generated - delivered - dropped` packets are still in
+/// percentiles (log-bucketed: exact to the histogram's <=1/32 relative
+/// bucket width).  `generated - delivered - dropped` packets are still in
 /// flight (buffered or mid-transmission) at the end of the window.
 struct FlowSummary {
   std::uint32_t flow = 0;
@@ -93,10 +96,11 @@ struct MetricsSummary {
   std::map<std::string, std::uint64_t> counters;  ///< protocol diagnostics
   // Workload-axis metrics: delay percentiles pooled over every delivered
   // packet, Jain's fairness index over per-flow delivered throughput, and
-  // the per-flow table backing both.  Across trials, average() folds the
-  // per-flow tables element-wise by flow id and takes the mean of the
-  // per-trial percentiles/fairness (an approximation — exact pooling would
-  // need the raw samples).
+  // the per-flow table backing both.  The run-level percentiles come from
+  // the bounded log-bucketed delay histogram, so across trials average()
+  // merges the histograms exactly and re-reads the percentiles from the
+  // pooled distribution — no mean-of-percentiles approximation.  Per-flow
+  // percentiles and fairness still average per-trial values across trials.
   double delay_p50_ms = 0.0;
   double delay_p95_ms = 0.0;
   double delay_p99_ms = 0.0;
@@ -135,6 +139,13 @@ struct MetricsSummary {
   /// registration, not a summary field.  Across trials, average() folds by
   /// kind: counters sum, gauges keep the maximum.
   std::map<std::string, obs::Sample> stats;
+  /// Bounded log-bucketed distributions, keyed by name: always-on
+  /// "delay_ns" / "queue_depth" / "airtime_ns" from the collector plus any
+  /// histogram registered in the obs::Registry (e.g. the sharded kernel's
+  /// "kernel.staged_per_window").  Across trials, average() merges by name
+  /// — LogHistogram::merge is exact and associative, so pooled percentiles
+  /// are identical no matter how trials are grouped.
+  std::map<std::string, obs::LogHistogram> histograms;
 };
 
 /// FNV-1a running hash (64-bit), folded one event record at a time.  Used
@@ -168,6 +179,28 @@ class MetricsCollector {
   /// A data-plane acknowledgement (counted in routing overhead per §III-A).
   void on_ack_tx(std::uint32_t bits);
 
+  // -- always-on distributions ----------------------------------------------
+  // Histogram observations ride outside the golden stream hash (like the
+  // tracer): they are derived views of already-hashed events, cheap enough
+  // (one bit-scan + increment) to collect unconditionally.
+  /// Link-queue depth right after an enqueue.
+  void observe_queue_depth(std::size_t depth) {
+    queue_depth_.record(static_cast<std::int64_t>(depth));
+  }
+  /// One data transmission attempt's airtime (failed attempts included —
+  /// wasted airtime is part of the story).
+  void observe_airtime(sim::Time airtime) {
+    airtime_ns_.record(airtime.nanos());
+  }
+
+  /// Central discovery-failure tally (fed by Node::trace_route, the one
+  /// place every protocol's "discovery_failed" record funnels through);
+  /// source for the discovery-storm watchdog.
+  void count_discovery_failure() { ++discovery_failures_; }
+  [[nodiscard]] std::uint64_t discovery_failures() const {
+    return discovery_failures_;
+  }
+
   /// Free-form named counters for protocol diagnostics and tests.
   void inc(const std::string& name, std::uint64_t by = 1);
   [[nodiscard]] std::uint64_t counter(const std::string& name) const;
@@ -183,10 +216,11 @@ class MetricsCollector {
     double delay_sum_ms = 0.0;
     double bits_delivered = 0.0;
     sim::Time last_delivery{};
-    /// Every delivered packet's delay, for the per-flow percentiles.  At
-    /// the paper's heaviest preset (100 flows x 10 pkt/s x 500 s) this is
-    /// ~4 MB per run — cheap next to the event stream it measures.
-    std::vector<double> delays_ms;
+    /// Delivered-packet delays in nanoseconds, log-bucketed.  Replaces the
+    /// old unbounded per-delivery vector (~4 MB per run at the heaviest
+    /// preset) with a few hundred bytes of buckets per flow, at <=1/32
+    /// relative percentile error.
+    obs::LogHistogram delays;
   };
   [[nodiscard]] const std::map<std::uint32_t, FlowStats>& flow_stats() const {
     return flows_;
@@ -244,6 +278,10 @@ class MetricsCollector {
   ThroughputSeries series_{};
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::uint32_t, FlowStats> flows_;
+  obs::LogHistogram delay_ns_;     ///< pooled end-to-end delay
+  obs::LogHistogram queue_depth_;  ///< link-queue depth at enqueue
+  obs::LogHistogram airtime_ns_;   ///< per-attempt data airtime
+  std::uint64_t discovery_failures_ = 0;
   std::uint64_t stream_hash_ = kFnvOffsetBasis;
   sim::Time epoch_start_ = sim::Time::zero();
   obs::Tracer tracer_;

@@ -33,6 +33,7 @@
 #include "harness/scenario.hpp"
 #include "mobility/mobility_model.hpp"
 #include "mobility/trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "stats/metrics.hpp"
@@ -314,6 +315,28 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<const char*>& info) {
       return sanitize(info.param);
     });
+
+TEST(GoldenInstrumented, FullObservabilityMatchesCapture) {
+  // The observability stack — span derivation, the always-on flight
+  // recorder, and the anomaly watchdogs — must leave the pinned stream
+  // untouched: none of its hooks may fold, reorder, or suppress a metrics
+  // event.  The instrumented digest is checked against the SAME key the
+  // bare suite pins, so this test fails the moment instrumentation would
+  // silently re-record the capture.
+  auto cfg = golden_config(harness::ProtocolKind::kRica);
+  cfg.trace_filter = "all";  // spans included
+  cfg.flight_recorder = obs::FlightRecorder::kDefaultCapacity;
+  cfg.flight_dump =
+      (std::filesystem::temp_directory_path() / "rica_golden_flight.jsonl")
+          .string();
+  cfg.watchdogs = true;
+  const auto result = harness::run_scenario(cfg);
+  GoldenRegistry::instance().check("run:RICA", result.stream_hash);
+  // The instrumentation itself must have produced its artifact.
+  std::error_code ec;
+  EXPECT_GT(std::filesystem::file_size(cfg.flight_dump, ec), 0u);
+  std::remove(cfg.flight_dump.c_str());
+}
 
 TEST(GoldenTrace, TraceMobilityMatchesCapture) {
   // Replayed mobility joins the determinism envelope: record this golden

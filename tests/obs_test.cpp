@@ -124,9 +124,13 @@ TEST(TraceFilter, ParsesCategoriesAndLists) {
   EXPECT_EQ(obs::parse_trace_filter("packet"), TraceFilter::kPacket);
   EXPECT_EQ(obs::parse_trace_filter("route"), TraceFilter::kRoute);
   EXPECT_EQ(obs::parse_trace_filter("kernel"), TraceFilter::kKernel);
+  EXPECT_EQ(obs::parse_trace_filter("span"), TraceFilter::kSpan);
   EXPECT_EQ(obs::parse_trace_filter("all"), TraceFilter::kAll);
+  EXPECT_TRUE(obs::has(TraceFilter::kAll, TraceFilter::kSpan));
   EXPECT_EQ(obs::parse_trace_filter("packet,route"),
             TraceFilter::kPacket | TraceFilter::kRoute);
+  EXPECT_EQ(obs::parse_trace_filter("route,span"),
+            TraceFilter::kRoute | TraceFilter::kSpan);
   EXPECT_THROW((void)obs::parse_trace_filter("packets"),
                std::invalid_argument);
   EXPECT_THROW((void)obs::parse_trace_filter(""), std::invalid_argument);
@@ -251,7 +255,7 @@ TEST(JsonlTrace, EveryRecordTypeMatchesItsSchema) {
       stages[field_of(line, "stage")]++;
     } else if (type == "route") {
       for (const char* key : {"stage", "t_ns", "node", "src", "dst", "bid",
-                              "metric", "protocol", "msg"}) {
+                              "metric", "protocol", "msg", "bytes"}) {
         EXPECT_TRUE(has_key(line, key)) << key << " missing in " << line;
       }
       stages[field_of(line, "stage")]++;
@@ -261,14 +265,22 @@ TEST(JsonlTrace, EveryRecordTypeMatchesItsSchema) {
         EXPECT_TRUE(has_key(line, key)) << key << " missing in " << line;
       }
       ++kernels;
+    } else if (type == "span") {
+      for (const char* key :
+           {"kind", "t_ns", "span", "parent", "trace", "flow", "seq", "node",
+            "src", "dst", "start_ns", "dur_ns", "detail"}) {
+        EXPECT_TRUE(has_key(line, key)) << key << " missing in " << line;
+      }
+      stages[field_of(line, "kind")]++;
     } else {
       FAIL() << "unknown record type '" << type << "' in " << line;
     }
   }
-  // The packet lifecycle and the route lifecycle must actually appear.
+  // The packet, route, and span lifecycles must actually appear.
   for (const char* stage : {"generated", "enqueued", "tx_start", "tx_end",
                             "delivered", "discovery_start", "control_tx",
-                            "established"}) {
+                            "established", "packet", "queue", "airtime",
+                            "discovery"}) {
     EXPECT_GT(stages[stage], 0u) << "no '" << stage << "' records";
   }
   EXPECT_GT(kernels, 0u) << "no kernel observation records";

@@ -13,6 +13,7 @@
 
 #include "harness/scenario.hpp"
 #include "harness/sweep.hpp"
+#include "obs/histogram.hpp"
 #include "net/network.hpp"
 #include "routing/aodv/aodv.hpp"
 #include "stats/metrics.hpp"
@@ -523,19 +524,26 @@ TEST(FairnessMetrics, SummaryCarriesPerFlowPercentilesAndFairness) {
   m.on_dropped(p, stats::DropReason::kExpired);
 
   const auto s = m.finalize(sim::seconds(10));
+  // Delays live in log-bucketed histograms now; a percentile reports the
+  // selected bucket's representative (upper edge, <= 1/32 above the value).
+  const auto rep_ms = [](std::int64_t ms) {
+    return static_cast<double>(obs::LogHistogram::representative(
+               sim::milliseconds(ms).nanos())) /
+           1e6;
+  };
   ASSERT_EQ(s.flow_summaries.size(), 3u);
   EXPECT_EQ(s.flow_summaries[0].flow, 0u);
   EXPECT_EQ(s.flow_summaries[0].generated, 3u);
   EXPECT_EQ(s.flow_summaries[0].delivered, 3u);
-  EXPECT_DOUBLE_EQ(s.flow_summaries[0].delay_p50_ms, 20.0);
-  EXPECT_DOUBLE_EQ(s.flow_summaries[0].delay_p99_ms, 30.0);
+  EXPECT_DOUBLE_EQ(s.flow_summaries[0].delay_p50_ms, rep_ms(20));
+  EXPECT_DOUBLE_EQ(s.flow_summaries[0].delay_p99_ms, rep_ms(30));
   EXPECT_DOUBLE_EQ(s.flow_summaries[0].tput_kbps, 3 * 500 * 8.0 / 10.0 / 1e3);
   EXPECT_EQ(s.flow_summaries[1].dropped, 1u);
   EXPECT_EQ(s.flow_summaries[2].delivered, 0u);
   EXPECT_DOUBLE_EQ(s.flow_summaries[2].tput_kbps, 0.0);
   // Pooled percentiles span all four deliveries.
-  EXPECT_DOUBLE_EQ(s.delay_p50_ms, 20.0);
-  EXPECT_DOUBLE_EQ(s.delay_p99_ms, 40.0);
+  EXPECT_DOUBLE_EQ(s.delay_p50_ms, rep_ms(20));
+  EXPECT_DOUBLE_EQ(s.delay_p99_ms, rep_ms(40));
   // Jain over (1.2, 0.4, 0) kbps: (1.6)^2 / (3 * (1.44 + 0.16)).
   EXPECT_NEAR(s.jain_fairness, 1.6 * 1.6 / (3.0 * 1.6), 1e-12);
 }
